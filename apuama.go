@@ -1,0 +1,209 @@
+// Package apuama is the public API of this reproduction of "Apuama:
+// Combining Intra-query and Inter-query Parallelism in a Database
+// Cluster" (Miranda, Lima, Valduriez, Mattoso — EDBT 2006).
+//
+// A Cluster bundles the full paper stack: n replicated node engines
+// (PostgreSQL stand-ins), the C-JDBC-equivalent controller providing
+// inter-query parallelism and replica consistency, and the Apuama Engine
+// adding intra-query parallelism through Simple Virtual Partitioning.
+//
+// Quick start:
+//
+//	c, err := apuama.Open(apuama.Config{Nodes: 4})
+//	...
+//	err = c.LoadTPCH(0.01, 1)
+//	res, err := c.Query(tpch.MustQuery(6)) // runs SVP across 4 nodes
+//	n, err := c.Exec("delete from orders where o_orderkey = 7")
+package apuama
+
+import (
+	"fmt"
+
+	"apuama/internal/cluster"
+	"apuama/internal/core"
+	"apuama/internal/costmodel"
+	"apuama/internal/engine"
+	"apuama/internal/tpch"
+)
+
+// Result is a materialized query result (Cols and Rows).
+type Result = engine.Result
+
+// Stats is the Apuama Engine's activity counters.
+type Stats = core.Stats
+
+// CostConfig is the simulated-hardware configuration (buffer-pool size,
+// IO / CPU / network latencies). See internal/costmodel for the fields
+// and DESIGN.md for the calibration rationale.
+type CostConfig = costmodel.Config
+
+// DefaultCost returns the calibrated cost model used by the experiment
+// harness.
+func DefaultCost() CostConfig { return costmodel.Default() }
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the replica count (the paper varies 1..32). Required.
+	Nodes int
+	// Cost is the simulated-hardware model; zero value means
+	// DefaultCost with accounting only (no real sleeps).
+	Cost CostConfig
+	// DisableSVP turns Apuama off: the plain C-JDBC baseline with
+	// inter-query parallelism only.
+	DisableSVP bool
+	// UseAVP selects Adaptive Virtual Partitioning (the SmaQ strategy
+	// the paper compares against in §6) instead of SVP.
+	UseAVP bool
+	// StreamCompose selects the streaming result composer instead of
+	// the in-memory-DBMS route (ablation).
+	StreamCompose bool
+	// NoBarrier skips the replica-consistency barrier (ablation).
+	NoBarrier bool
+	// MaxStaleness > 0 selects the relaxed-freshness replication policy
+	// the paper's conclusion proposes: OLAP queries read a consistent
+	// but possibly stale snapshot (at most this many writes behind) and
+	// never block updates.
+	MaxStaleness int64
+	// AllowSeqscan stops Apuama from disabling sequential scans around
+	// SVP sub-queries (ablation of the paper's §3 optimizer override).
+	AllowSeqscan bool
+	// PoolSize bounds concurrent statements per node (default 8).
+	PoolSize int
+	// Policy selects the controller's read balancing policy.
+	Policy cluster.Policy
+}
+
+// Cluster is a running database cluster: the single external view the
+// middleware presents to applications.
+type Cluster struct {
+	cfg   Config
+	db    *engine.Database
+	nodes []*engine.Node
+	eng   *core.Engine
+	ctl   *cluster.Controller
+}
+
+// Open builds a cluster with Config.Nodes replicas and the TPC-H virtual
+// partitioning catalog (orders on o_orderkey, lineitem derived).
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("apuama: Nodes must be >= 1, got %d", cfg.Nodes)
+	}
+	cost := cfg.Cost
+	if cost.PageSize == 0 {
+		cost = costmodel.Default()
+	}
+	db := engine.NewDatabase(cost)
+	nodes := make([]*engine.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = engine.NewNode(i, db)
+	}
+	opts := core.DefaultOptions()
+	opts.DisableSVP = cfg.DisableSVP
+	if cfg.UseAVP {
+		opts.Strategy = core.AVP
+	}
+	opts.StreamCompose = cfg.StreamCompose
+	opts.NoBarrier = cfg.NoBarrier
+	opts.MaxStaleness = cfg.MaxStaleness
+	opts.ForceIndexScan = !cfg.AllowSeqscan
+	if cfg.PoolSize > 0 {
+		opts.PoolSize = cfg.PoolSize
+	}
+	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
+	ctl := cluster.New(db, eng.Backends(), cluster.Options{Policy: cfg.Policy, Cost: cost})
+	return &Cluster{cfg: cfg, db: db, nodes: nodes, eng: eng, ctl: ctl}, nil
+}
+
+// LoadTPCH creates the TPC-H schema and deterministically populates it
+// at the given scale factor (the paper ran SF 5 on real hardware; see
+// EXPERIMENTS.md for the scaled defaults).
+func (c *Cluster) LoadTPCH(sf float64, seed int64) error {
+	_, err := tpch.Generator{SF: sf, Seed: seed}.Load(c.db)
+	return err
+}
+
+// Query submits a read-only statement to the cluster. OLAP queries on
+// virtually partitioned tables execute with intra-query parallelism
+// across every node; everything else is load-balanced to one replica.
+func (c *Cluster) Query(sqlText string) (*Result, error) {
+	return c.ctl.Query(sqlText)
+}
+
+// Exec submits a write (totally ordered and broadcast to all replicas),
+// a DDL statement, or a SET.
+func (c *Cluster) Exec(sqlText string) (int64, error) {
+	return c.ctl.Exec(sqlText)
+}
+
+// Stats returns the Apuama Engine's activity counters.
+func (c *Cluster) Stats() Stats { return c.eng.Snapshot() }
+
+// NumNodes returns the replica count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// ResetMeters zeroes every node's cost meter and buffer-pool statistics
+// (benchmark warm-up hygiene; cache contents are preserved).
+func (c *Cluster) ResetMeters() {
+	for _, nd := range c.nodes {
+		nd.Meter().Reset()
+		nd.Pool().ResetStats()
+	}
+	c.ctl.NetMeter().Reset()
+	c.eng.NetMeter().Reset()
+}
+
+// NodeIOStats reports each node's buffer-pool hits and misses.
+func (c *Cluster) NodeIOStats() (hits, misses []int64) {
+	for _, nd := range c.nodes {
+		h, m := nd.Pool().Stats()
+		hits = append(hits, h)
+		misses = append(misses, m)
+	}
+	return hits, misses
+}
+
+// SizeReport returns heap pages per table.
+func (c *Cluster) SizeReport() map[string]int { return tpch.SizeReport(c.db) }
+
+// KillNode simulates a crash of node i: its requests fail until
+// RecoverNode, and the controller routes around it.
+func (c *Cluster) KillNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("no node %d", i)
+	}
+	c.eng.Procs()[i].Kill()
+	return nil
+}
+
+// RecoverNode revives a crashed node and replays every write it missed
+// from the controller's log, then puts it back into rotation — the
+// recovery protocol a production deployment of the paper's middleware
+// needs and C-JDBC provides via its recovery log.
+func (c *Cluster) RecoverNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("no node %d", i)
+	}
+	c.eng.Procs()[i].Revive()
+	return c.ctl.Recover(i)
+}
+
+// Vacuum reclaims row versions no replica can still see (deleted at or
+// before the lagging replica's watermark). The cluster must be quiescent
+// — no concurrent queries or writes — while it runs, like VACUUM FULL.
+// Returns the number of row versions reclaimed.
+func (c *Cluster) Vacuum() int64 {
+	horizon := c.nodes[0].Watermark()
+	for _, nd := range c.nodes[1:] {
+		if w := nd.Watermark(); w < horizon {
+			horizon = w
+		}
+	}
+	return c.db.Vacuum(horizon)
+}
+
+// Internals exposes the underlying layers for experiments and advanced
+// embedding (the types live in internal packages; use the aliases).
+func (c *Cluster) Internals() (*engine.Database, []*engine.Node, *core.Engine, *cluster.Controller) {
+	return c.db, c.nodes, c.eng, c.ctl
+}

@@ -1,0 +1,71 @@
+// Command apuamad runs a database cluster and serves it over TCP.
+//
+// It assembles the full paper stack — n replicated node engines, the
+// C-JDBC-equivalent controller, and the Apuama Engine — optionally
+// pre-loaded with TPC-H data, and listens with the gob wire protocol
+// that internal/driver's database/sql driver speaks.
+//
+// Usage:
+//
+//	apuamad -nodes 8 -sf 0.01 -addr 127.0.0.1:7654
+//	apuamad -nodes 8 -sf 0.01 -baseline   # inter-query parallelism only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	apuama "apuama"
+	"apuama/internal/wire"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "number of replica nodes")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor to preload (0 = empty cluster)")
+		seed     = flag.Int64("seed", 1, "TPC-H generator seed")
+		addr     = flag.String("addr", "127.0.0.1:7654", "listen address")
+		baseline = flag.Bool("baseline", false, "disable Apuama (plain C-JDBC-style cluster)")
+		avp      = flag.Bool("avp", false, "use Adaptive Virtual Partitioning instead of SVP")
+		stale    = flag.Int64("staleness", 0, "relaxed-freshness bound in writes (0 = strict barrier)")
+		sleep    = flag.Bool("realtime", false, "sleep simulated latencies (realistic timing)")
+	)
+	flag.Parse()
+
+	cfg := apuama.Config{Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale}
+	cfg.Cost = apuama.DefaultCost()
+	cfg.Cost.RealSleep = *sleep
+	c, err := apuama.Open(cfg)
+	if err != nil {
+		log.Fatalf("apuamad: %v", err)
+	}
+	if *sf > 0 {
+		log.Printf("loading TPC-H at SF %g ...", *sf)
+		if err := c.LoadTPCH(*sf, *seed); err != nil {
+			log.Fatalf("apuamad: load: %v", err)
+		}
+		for table, pages := range c.SizeReport() {
+			log.Printf("  %-10s %6d pages", table, pages)
+		}
+	}
+	srv, err := wire.Serve(*addr, c)
+	if err != nil {
+		log.Fatalf("apuamad: %v", err)
+	}
+	mode := "apuama (inter- + intra-query parallelism)"
+	if *baseline {
+		mode = "baseline (inter-query parallelism only)"
+	}
+	fmt.Printf("apuamad: %d nodes, %s, listening on %s\n", *nodes, mode, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\napuamad: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("apuamad: close: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module apuama
+
+go 1.22

@@ -1,0 +1,356 @@
+// Package cluster implements the C-JDBC-equivalent database-cluster
+// middleware the paper builds on: a controller that presents a set of
+// replicated black-box engines as one virtual database, totally ordering
+// writes across replicas (Scheduler), balancing reads to the
+// least-loaded backend (Load Balancer), and pooling backend connections.
+//
+// On its own the controller provides exactly what C-JDBC provides:
+// inter-query parallelism and replica consistency — the paper's baseline.
+// The Apuama engine (internal/core) slots between the controller and the
+// nodes as a Backend implementation, adding intra-query parallelism
+// without changing this package (mirroring "no source code was changed
+// in C-JDBC").
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+)
+
+// ErrBackendDown is returned by a Backend whose node is unreachable or
+// crashed. The controller reacts like C-JDBC: it disables the backend
+// and retries reads elsewhere; writes proceed on the surviving replicas.
+var ErrBackendDown = errors.New("backend down")
+
+// Backend is one replica as seen by the controller: something that
+// executes reads, applies ordered writes and accepts session settings.
+// In the paper this is a JDBC connection (directly to PostgreSQL for
+// plain C-JDBC; to an Apuama Node Processor when Apuama is installed).
+type Backend interface {
+	ID() int
+	// Query executes a read-only statement.
+	Query(sqlText string) (*engine.Result, error)
+	// ApplyWrite applies write number writeID. Deliveries arrive in
+	// strictly increasing writeID order.
+	ApplyWrite(writeID int64, stmt sql.Statement) (int64, error)
+	// Set applies a session setting on the backend.
+	Set(st *sql.SetStmt) error
+	// Watermark reports the last write the backend has applied (its
+	// replication position, used by recovery).
+	Watermark() int64
+}
+
+// NodeBackend adapts an engine.Node directly (the plain C-JDBC setup).
+type NodeBackend struct {
+	Node *engine.Node
+}
+
+// ID returns the node id.
+func (nb *NodeBackend) ID() int { return nb.Node.ID() }
+
+// Query parses and runs a SELECT on the node.
+func (nb *NodeBackend) Query(sqlText string) (*engine.Result, error) {
+	return nb.Node.Query(sqlText)
+}
+
+// ApplyWrite forwards an ordered write.
+func (nb *NodeBackend) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
+	return nb.Node.ApplyWrite(writeID, stmt)
+}
+
+// Set forwards a SET statement.
+func (nb *NodeBackend) Set(st *sql.SetStmt) error {
+	nb.Node.Set(st.Name, st.Value)
+	return nil
+}
+
+// Watermark reports the node's replication position.
+func (nb *NodeBackend) Watermark() int64 { return nb.Node.Watermark() }
+
+// Policy selects the read load-balancing policy.
+type Policy int
+
+// Load-balancing policies. The paper configures C-JDBC with
+// least-pending-requests.
+const (
+	LeastPending Policy = iota
+	RoundRobin
+)
+
+// Options configures a Controller.
+type Options struct {
+	// Policy is the read balancing policy (default LeastPending).
+	Policy Policy
+	// Cost is the network cost model used for middleware<->backend
+	// traffic (defaults to the database's configuration when zero).
+	Cost costmodel.Config
+}
+
+// backendState wraps a Backend with scheduling bookkeeping.
+type backendState struct {
+	b        Backend
+	pending  atomic.Int64
+	reads    atomic.Int64
+	disabled atomic.Bool
+}
+
+// Controller is the virtual database: the request manager, scheduler and
+// load balancer of the C-JDBC architecture.
+type Controller struct {
+	db       *engine.Database
+	backends []*backendState
+	policy   Policy
+	net      *costmodel.Meter
+
+	// writeMu is the Scheduler's total order: one replicated write at a
+	// time, delivered to every backend before the next begins. Broadcast
+	// cost therefore grows with the number of replicas — the effect
+	// behind the paper's Fig. 4 flattening at 16-32 nodes.
+	writeMu  sync.Mutex
+	writeSeq atomic.Int64
+	rr       atomic.Int64
+
+	// writeLog retains every scheduled write so a crashed replica can be
+	// recovered by replay (guarded by writeMu).
+	writeLog []loggedWrite
+}
+
+// loggedWrite is one entry of the recovery log.
+type loggedWrite struct {
+	id   int64
+	stmt sql.Statement
+}
+
+// New assembles a controller over the given backends.
+func New(db *engine.Database, backends []Backend, opts Options) *Controller {
+	cfg := opts.Cost
+	if cfg.PageSize == 0 {
+		cfg = db.Config()
+	}
+	c := &Controller{db: db, policy: opts.Policy, net: costmodel.NewMeter(cfg)}
+	for _, b := range backends {
+		c.backends = append(c.backends, &backendState{b: b})
+	}
+	return c
+}
+
+// NumBackends returns the replica count.
+func (c *Controller) NumBackends() int { return len(c.backends) }
+
+// Backend returns backend i (tests and the Apuama engine use this).
+func (c *Controller) Backend(i int) Backend { return c.backends[i].b }
+
+// NetMeter exposes the middleware network meter.
+func (c *Controller) NetMeter() *costmodel.Meter { return c.net }
+
+// Query load-balances a read-only request to one backend. A backend
+// reporting ErrBackendDown is disabled and the request fails over to the
+// remaining replicas (C-JDBC's behaviour on a node crash); SQL errors
+// return to the client unretried.
+func (c *Controller) Query(sqlText string) (*engine.Result, error) {
+	if len(c.backends) == 0 {
+		return nil, fmt.Errorf("no backends")
+	}
+	cfg := c.net.Config()
+	for attempt := 0; attempt < len(c.backends); attempt++ {
+		bs, err := c.pick()
+		if err != nil {
+			return nil, err
+		}
+		bs.pending.Add(1)
+		bs.reads.Add(1)
+		c.net.Charge(cfg.NetMessage)
+		res, err := bs.b.Query(sqlText)
+		bs.pending.Add(-1)
+		if errors.Is(err, ErrBackendDown) {
+			bs.disabled.Store(true)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.net.Charge(time.Duration(len(res.Rows)) * cfg.NetPerRow)
+		c.net.Flush()
+		return res, nil
+	}
+	return nil, fmt.Errorf("query failed over on every backend: %w", ErrBackendDown)
+}
+
+// pick applies the configured balancing policy over enabled backends.
+func (c *Controller) pick() (*backendState, error) {
+	switch c.policy {
+	case RoundRobin:
+		for range c.backends {
+			i := int(c.rr.Add(1)-1) % len(c.backends)
+			if !c.backends[i].disabled.Load() {
+				return c.backends[i], nil
+			}
+		}
+	default: // LeastPending
+		var best *backendState
+		for _, bs := range c.backends {
+			if bs.disabled.Load() {
+				continue
+			}
+			if best == nil || bs.pending.Load() < best.pending.Load() {
+				best = bs
+			}
+		}
+		if best != nil {
+			return best, nil
+		}
+	}
+	return nil, fmt.Errorf("all backends are disabled: %w", ErrBackendDown)
+}
+
+// Recover replays the writes a disabled backend missed (from the
+// controller's write log) and puts it back into rotation. New writes are
+// held for the duration, so the replica rejoins exactly caught up.
+// The backend itself must be reachable again (e.g. the node process
+// restarted) before calling Recover.
+func (c *Controller) Recover(i int) error {
+	if i < 0 || i >= len(c.backends) {
+		return fmt.Errorf("no backend %d", i)
+	}
+	bs := c.backends[i]
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	wm := bs.b.Watermark()
+	for _, lw := range c.writeLog {
+		if lw.id <= wm {
+			continue
+		}
+		if _, err := bs.b.ApplyWrite(lw.id, lw.stmt); err != nil {
+			return fmt.Errorf("recovery of backend %d at write %d: %w", i, lw.id, err)
+		}
+	}
+	bs.disabled.Store(false)
+	return nil
+}
+
+// WriteLogLen reports the recovery log size (monitoring/tests).
+func (c *Controller) WriteLogLen() int {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return len(c.writeLog)
+}
+
+// DisabledBackends lists backends taken out of rotation after failures.
+func (c *Controller) DisabledBackends() []int {
+	var out []int
+	for i, bs := range c.backends {
+		if bs.disabled.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Exec routes a statement: SELECT is rejected (use Query), writes are
+// scheduled and broadcast, DDL mutates the shared catalog, SET is
+// broadcast to all backends.
+func (c *Controller) Exec(sqlText string) (int64, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return 0, fmt.Errorf("Exec cannot run SELECT; use Query")
+	case *sql.CreateTableStmt:
+		_, err := c.db.CreateTable(st)
+		return 0, err
+	case *sql.CreateIndexStmt:
+		return 0, c.db.CreateIndex(st)
+	case *sql.SetStmt:
+		for _, bs := range c.backends {
+			if err := bs.b.Set(st); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	default:
+		return c.ExecWrite(stmt)
+	}
+}
+
+// ExecWrite schedules a parsed write statement: it takes the next slot in
+// the total order and synchronously delivers it to every backend (the
+// replicas apply concurrently; the write completes when all have
+// acknowledged, like C-JDBC's RAIDb-1 broadcast).
+func (c *Controller) ExecWrite(stmt sql.Statement) (int64, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	id := c.writeSeq.Add(1)
+	cfg := c.net.Config()
+
+	type reply struct {
+		bs  *backendState
+		n   int64
+		err error
+	}
+	var live []*backendState
+	for _, bs := range c.backends {
+		if !bs.disabled.Load() {
+			live = append(live, bs)
+		}
+	}
+	if len(live) == 0 {
+		return 0, fmt.Errorf("write %d: %w", id, ErrBackendDown)
+	}
+	c.writeLog = append(c.writeLog, loggedWrite{id: id, stmt: stmt})
+	// One round trip for the write itself plus a serialized per-replica
+	// fan-out cost: broadcasting to more replicas takes longer, which is
+	// the update-propagation delay the paper observes at 16-32 nodes.
+	c.net.Charge(cfg.NetMessage + time.Duration(len(live))*cfg.WriteFanout)
+	replies := make(chan reply, len(live))
+	for _, bs := range live {
+		go func(bs *backendState) {
+			n, err := bs.b.ApplyWrite(id, stmt)
+			replies <- reply{bs: bs, n: n, err: err}
+		}(bs)
+	}
+	c.net.Flush()
+	var affected int64
+	var firstErr error
+	applied := 0
+	for range live {
+		r := <-replies
+		if errors.Is(r.err, ErrBackendDown) {
+			// Drop the replica and let the write commit on survivors
+			// (RAIDb-1 semantics: a crashed replica leaves the set).
+			r.bs.disabled.Store(true)
+			continue
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.err == nil {
+			applied++
+			affected = r.n
+		}
+	}
+	if firstErr != nil {
+		return 0, fmt.Errorf("write %d: %w", id, firstErr)
+	}
+	if applied == 0 {
+		return 0, fmt.Errorf("write %d: %w", id, ErrBackendDown)
+	}
+	return affected, nil
+}
+
+// Stats reports per-backend read counts (used by balancing tests).
+func (c *Controller) Stats() []int64 {
+	out := make([]int64, len(c.backends))
+	for i, bs := range c.backends {
+		out[i] = bs.reads.Load()
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// blocker is Apuama's consistency mechanism (§3): before SVP sub-queries
+// are dispatched, all replicas must be at the same transaction count;
+// update transactions arriving meanwhile are held at the gate. Once every
+// sub-query is dispatched the gate reopens — MVCC isolation lets the
+// updates run while sub-queries are still executing, "thereby improving
+// throughput".
+type blocker struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	blocks   int   // active SVP dispatch sections holding the gate
+	admitted int64 // highest write ID allowed past the gate
+}
+
+func newBlocker() *blocker {
+	b := &blocker{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// admitWrite holds the calling write until no SVP dispatch is in
+// progress, reporting whether it had to wait. A write already admitted
+// (an earlier replica delivery of the same ID passed the gate) always
+// proceeds so replicas cannot wedge the consistency barrier by
+// half-applying a write.
+func (b *blocker) admitWrite(writeID int64) (waited bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if writeID <= b.admitted {
+		return false
+	}
+	for b.blocks > 0 && writeID > b.admitted {
+		waited = true
+		b.cond.Wait()
+	}
+	if writeID > b.admitted {
+		b.admitted = writeID
+	}
+	return waited
+}
+
+// block closes the gate for a dispatch section.
+func (b *blocker) block() {
+	b.mu.Lock()
+	b.blocks++
+	b.mu.Unlock()
+}
+
+// unblock reopens the gate.
+func (b *blocker) unblock() {
+	b.mu.Lock()
+	b.blocks--
+	if b.blocks == 0 {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// awaitConsistent waits (gate closed) until every node's transaction
+// counter is equal, returning the common value — the snapshot all SVP
+// sub-queries will read at.
+func (b *blocker) awaitConsistent(procs []*NodeProcessor, timeout time.Duration) (int64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		w0 := procs[0].TxnCounter()
+		equal := true
+		for _, p := range procs[1:] {
+			if p.TxnCounter() != w0 {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return w0, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("replicas did not converge within %v", timeout)
+		}
+		time.Sleep(waitSpin)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apuama/internal/tpch"
+)
+
+// TestChaosKillReviveUnderLoad runs concurrent SVP streams while a chaos
+// goroutine kills and revives nodes. Reads may fail transiently when a
+// node dies mid-dispatch, but every successful read must return the
+// exact answer, and the system must never wedge.
+//
+// The workload is read-only: reviving a node that missed writes would
+// need a catch-up protocol (see DESIGN.md's failure-handling notes).
+func TestChaosKillReviveUnderLoad(t *testing.T) {
+	s := buildStack(t, 4, DefaultOptions())
+	want := s.single(t, "select count(*) from lineitem").Rows[0][0].I
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Chaos: cycle kills across nodes, always leaving node 0 alive.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := s.eng.Procs()[i%3+1]
+			p.Kill()
+			time.Sleep(2 * time.Millisecond)
+			p.Revive()
+			i++
+		}
+	}()
+
+	var mu sync.Mutex
+	okReads, failedReads := 0, 0
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := s.eng.RunSVP(mustSel(t, "select count(*) from lineitem"))
+				mu.Lock()
+				if err != nil {
+					failedReads++
+					mu.Unlock()
+					if errors.Is(err, ErrNotEligible) {
+						t.Errorf("unexpected ineligibility: %v", err)
+						return
+					}
+					continue
+				}
+				okReads++
+				mu.Unlock()
+				if got := res.Rows[0][0].I; got != want {
+					t.Errorf("wrong count under chaos: %d != %d", got, want)
+					return
+				}
+			}
+		}()
+	}
+	// Stop chaos once readers are done.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	readersDone := make(chan struct{})
+	go func() {
+		// The reader goroutines are 3 of the 4 in wg; simplest: poll.
+		for {
+			mu.Lock()
+			total := okReads + failedReads
+			mu.Unlock()
+			if total >= 75 {
+				close(readersDone)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	select {
+	case <-readersDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("chaos run wedged")
+	}
+	close(stop)
+	<-done
+
+	if okReads == 0 {
+		t.Fatal("no read ever succeeded under chaos")
+	}
+	st := s.eng.Snapshot()
+	t.Logf("chaos: %d ok, %d transient failures, %d sub-query retries", okReads, failedReads, st.SubQueryRetries)
+	if st.SubQueryRetries == 0 && failedReads > 0 {
+		t.Error("failures occurred but intra-query failover never engaged")
+	}
+}
+
+// TestTPCHUnderChaosSample: one full paper query keeps returning exact
+// results while a node flaps.
+func TestTPCHUnderChaosSample(t *testing.T) {
+	s := buildStack(t, 3, DefaultOptions())
+	want := s.single(t, tpch.MustQuery(6))
+	p := s.eng.Procs()[1]
+	for round := 0; round < 6; round++ {
+		if round%2 == 1 {
+			p.Kill()
+		} else {
+			p.Revive()
+		}
+		got, err := s.eng.RunSVP(mustSel(t, tpch.MustQuery(6)))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertSameResult(t, "chaos Q6", got, want, false)
+	}
+}

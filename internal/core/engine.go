@@ -1,0 +1,426 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"apuama/internal/cluster"
+	"apuama/internal/costmodel"
+	"apuama/internal/engine"
+	"apuama/internal/memdb"
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+)
+
+// Strategy selects the intra-query parallelism technique.
+type Strategy int
+
+// Intra-query strategies: the paper's Simple Virtual Partitioning (one
+// range per node) and the SmaQ-style Adaptive Virtual Partitioning it
+// compares against in §6 (adaptively-sized sub-ranges per node).
+const (
+	SVP Strategy = iota
+	AVP
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == AVP {
+		return "AVP"
+	}
+	return "SVP"
+}
+
+// Options configures the Apuama Engine.
+type Options struct {
+	// Strategy is the intra-query technique (default SVP, the paper's).
+	Strategy Strategy
+	// ForceIndexScan disables sequential scans around SVP sub-queries
+	// (the paper's §3 optimizer interference; on by default).
+	ForceIndexScan bool
+	// PoolSize bounds concurrent statements per node processor.
+	PoolSize int
+	// DisableSVP turns the engine into a transparent proxy: the plain
+	// C-JDBC baseline, used for ablations.
+	DisableSVP bool
+	// NoBarrier skips the consistency barrier (ablation only — with the
+	// explicit-snapshot engines of this reproduction results stay
+	// consistent, but a real JDBC deployment would race; see DESIGN.md).
+	NoBarrier bool
+	// MaxStaleness enables the paper's future-work replication policy
+	// ("an alternative replication policy that relaxes consistency"):
+	// when > 0, SVP queries do not block updates at all; they read at
+	// the lagging replica's snapshot as long as replicas are within
+	// MaxStaleness writes of each other (Refresco-style freshness
+	// control), waiting only when divergence exceeds the bound.
+	MaxStaleness int64
+	// BarrierTimeout bounds the replica-convergence wait.
+	BarrierTimeout time.Duration
+	// StreamCompose composes partial results with the hand-rolled
+	// streaming merger instead of the memdb (HSQLDB-equivalent) route —
+	// an ablation of the paper's composer choice.
+	StreamCompose bool
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{ForceIndexScan: true, PoolSize: 8, BarrierTimeout: 30 * time.Second}
+}
+
+// Engine is the Apuama Engine: the Cluster Administrator of Fig. 1(b).
+// Install it between a cluster.Controller and the node engines by using
+// Backends() as the controller's backend list.
+type Engine struct {
+	db      *engine.Database
+	catalog *Catalog
+	procs   []*NodeProcessor
+	mem     *memdb.MemDB
+	gate    *blocker
+	opts    Options
+	net     *costmodel.Meter
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts engine activity (exposed for experiments and tests).
+type Stats struct {
+	SVPQueries           int64 // queries executed with intra-query parallelism
+	PassThrough          int64 // queries forwarded to a single node
+	SubQueries           int64 // total sub-queries dispatched
+	BlockedWrites        int64 // writes that waited at the consistency gate
+	ComposedRows         int64 // partial rows loaded into the composer
+	StaleReads           int64 // freshness-mode queries that read behind the head
+	MaxObservedStaleness int64
+	SubQueryRetries      int64 // partitions re-dispatched after a node crash
+	BarrierWaits         time.Duration
+	FallbackReasons      map[string]int64
+}
+
+// New builds an Apuama Engine over the given nodes.
+func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Options) *Engine {
+	if opts.PoolSize == 0 {
+		opts.PoolSize = DefaultOptions().PoolSize
+	}
+	if opts.BarrierTimeout == 0 {
+		opts.BarrierTimeout = DefaultOptions().BarrierTimeout
+	}
+	e := &Engine{
+		db:      db,
+		catalog: catalog,
+		mem:     memdb.New(),
+		gate:    newBlocker(),
+		opts:    opts,
+		net:     costmodel.NewMeter(db.Config()),
+	}
+	e.stats.FallbackReasons = map[string]int64{}
+	for _, nd := range nodes {
+		e.procs = append(e.procs, NewNodeProcessor(nd, opts.PoolSize))
+	}
+	return e
+}
+
+// Backends returns one cluster.Backend per node: the connection proxies
+// C-JDBC plugs into instead of raw database connections.
+func (e *Engine) Backends() []cluster.Backend {
+	out := make([]cluster.Backend, len(e.procs))
+	for i, p := range e.procs {
+		out[i] = &backendProxy{eng: e, proc: p}
+	}
+	return out
+}
+
+// Procs exposes the node processors (experiments inspect node meters).
+func (e *Engine) Procs() []*NodeProcessor { return e.procs }
+
+// NetMeter exposes the engine's partial-result network meter.
+func (e *Engine) NetMeter() *costmodel.Meter { return e.net }
+
+// Snapshot returns a copy of the engine counters.
+func (e *Engine) Snapshot() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	s := e.stats
+	s.FallbackReasons = map[string]int64{}
+	for k, v := range e.stats.FallbackReasons {
+		s.FallbackReasons[k] = v
+	}
+	return s
+}
+
+// backendProxy is what the controller sees as one replica connection.
+type backendProxy struct {
+	eng  *Engine
+	proc *NodeProcessor
+}
+
+func (bp *backendProxy) ID() int { return bp.proc.node.ID() }
+
+// Query intercepts OLAP queries: eligible ones run with intra-query
+// parallelism across every node; everything else passes straight through
+// to this backend's node, untouched (OLTP is C-JDBC's business).
+func (bp *backendProxy) Query(sqlText string) (*engine.Result, error) {
+	if !bp.eng.opts.DisableSVP {
+		stmt, err := sql.Parse(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		if sel, ok := stmt.(*sql.SelectStmt); ok {
+			res, err := bp.eng.RunSVP(sel)
+			if err == nil {
+				return res, nil
+			}
+			if !errors.Is(err, ErrNotEligible) {
+				return nil, err
+			}
+			bp.eng.countFallback(err)
+		}
+	}
+	bp.eng.bump(func(s *Stats) { s.PassThrough++ })
+	return bp.proc.Query(sqlText)
+}
+
+// ApplyWrite holds the write at the consistency gate, then forwards it.
+// In the relaxed-freshness modes updates are never blocked — the
+// trade-off the paper's conclusion proposes to explore.
+func (bp *backendProxy) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
+	if !bp.eng.opts.NoBarrier && bp.eng.opts.MaxStaleness <= 0 {
+		if bp.eng.gate.admitWrite(writeID) {
+			bp.eng.bump(func(s *Stats) { s.BlockedWrites++ })
+		}
+	}
+	return bp.proc.ApplyWrite(writeID, stmt)
+}
+
+// Set forwards session settings to the node.
+func (bp *backendProxy) Set(st *sql.SetStmt) error {
+	bp.proc.node.Set(st.Name, st.Value)
+	return nil
+}
+
+// Watermark reports the node's replication position for recovery.
+func (bp *backendProxy) Watermark() int64 { return bp.proc.node.Watermark() }
+
+func (e *Engine) bump(f func(*Stats)) {
+	e.statsMu.Lock()
+	f(&e.stats)
+	e.statsMu.Unlock()
+}
+
+func (e *Engine) countFallback(err error) {
+	msg := err.Error()
+	e.bump(func(s *Stats) { s.FallbackReasons[msg]++ })
+}
+
+// RunSVP executes one query with Simple Virtual Partitioning: plan the
+// rewrite, run the consistency barrier, dispatch one sub-query per node
+// pinned to the common snapshot, and compose the partial results.
+// ErrNotEligible means the caller should fall back to pass-through.
+func (e *Engine) RunSVP(sel *sql.SelectStmt) (*engine.Result, error) {
+	rw, err := PlanSVP(sel, e.catalog)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, err := e.catalog.KeyDomain(e.db, rw.Table)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotEligible, err)
+	}
+	// A crashed node drops out of the fan-out: the survivors cover the
+	// whole key domain with fewer, larger partitions (degraded
+	// intra-query parallelism rather than failure).
+	procs := e.liveProcs()
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("no live nodes")
+	}
+	n := len(procs)
+
+	// Consistency barrier: block updates, wait for equal transaction
+	// counters, capture the snapshot, dispatch, unblock. The relaxed
+	// modes (NoBarrier, MaxStaleness) instead read at the lagging
+	// replica's snapshot without stalling updates.
+	var snapshot int64
+	barrier := !e.opts.NoBarrier && e.opts.MaxStaleness <= 0
+	start := time.Now()
+	switch {
+	case e.opts.NoBarrier:
+		snapshot = minWatermark(procs)
+	case e.opts.MaxStaleness > 0:
+		snapshot, err = e.awaitFreshness(procs, e.opts.MaxStaleness)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		e.gate.block()
+		snapshot, err = e.gate.awaitConsistent(procs, e.opts.BarrierTimeout)
+		if err != nil {
+			e.gate.unblock()
+			return nil, err
+		}
+	}
+
+	if e.opts.Strategy == AVP {
+		// AVP dispatches its first chunk per node immediately; updates
+		// unblock as soon as the first wave is out (same contract as
+		// SVP: the snapshot is already pinned).
+		if barrier {
+			defer e.gate.unblock()
+		}
+		e.bump(func(s *Stats) {
+			s.SVPQueries++
+			s.BarrierWaits += time.Since(start)
+		})
+		return e.runAVP(procs, rw, snapshot, lo, hi)
+	}
+
+	type partial struct {
+		idx int
+		res *engine.Result
+		err error
+	}
+	results := make(chan partial, n)
+	cfg := e.net.Config()
+	dispatch := func(p *NodeProcessor, idx int, sub *sql.SelectStmt) {
+		go func() {
+			// Dispatch messages travel in parallel; charge each node's
+			// own meter with the middleware->node round trip.
+			p.Node().Meter().Charge(cfg.NetMessage)
+			res, err := p.QueryAt(sub, snapshot, e.opts.ForceIndexScan)
+			results <- partial{idx: idx, res: res, err: err}
+		}()
+	}
+	subs := make([]*sql.SelectStmt, n)
+	for i, p := range procs {
+		subs[i] = rw.SubQuery(i, n, lo, hi)
+		dispatch(p, i, subs[i])
+	}
+	// "When all sub-queries are sent and started by the DBMSs, update
+	// transactions are unblocked."
+	if barrier {
+		e.gate.unblock()
+	}
+	e.bump(func(s *Stats) {
+		s.SVPQueries++
+		s.SubQueries += int64(n)
+		s.BarrierWaits += time.Since(start)
+	})
+
+	// Gather with intra-query failover (an extension beyond the paper):
+	// a sub-query lost to a node crash is retried once on the next live
+	// node — MVCC snapshots make the retry read the same state.
+	var rows int64
+	var partials []*engine.Result
+	var firstErr error
+	retried := make([]bool, n)
+	for outstanding := n; outstanding > 0; outstanding-- {
+		pr := <-results
+		if pr.err != nil {
+			if errors.Is(pr.err, cluster.ErrBackendDown) && !retried[pr.idx] {
+				if alt := e.pickLiveExcept(procs[pr.idx]); alt != nil {
+					retried[pr.idx] = true
+					dispatch(alt, pr.idx, subs[pr.idx])
+					outstanding++ // the retry will report back
+					e.bump(func(s *Stats) {
+						s.SubQueries++
+						s.SubQueryRetries++
+					})
+					continue
+				}
+			}
+			if firstErr == nil {
+				firstErr = pr.err
+			}
+			continue
+		}
+		rows += int64(len(pr.res.Rows))
+		partials = append(partials, pr.res)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("sub-query failed: %w", firstErr)
+	}
+	e.net.Charge(time.Duration(rows) * cfg.NetPerRow)
+	e.net.Flush()
+	e.bump(func(s *Stats) { s.ComposedRows += rows })
+
+	if e.opts.StreamCompose {
+		return e.composeStreaming(rw, partials)
+	}
+	return e.composeMemDB(rw, partials)
+}
+
+// composeMemDB is the paper's route: load every partial row into the
+// in-memory DBMS and run the composition query there.
+func (e *Engine) composeMemDB(rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
+	var all []sqltypes.Row
+	for _, p := range partials {
+		all = append(all, p.Rows...)
+	}
+	return e.composeRows(rw, all, "svp")
+}
+
+// awaitFreshness waits until replica divergence is within the staleness
+// bound and returns the lagging replica's watermark as the query
+// snapshot. Updates keep flowing the whole time.
+func (e *Engine) awaitFreshness(procs []*NodeProcessor, bound int64) (int64, error) {
+	deadline := time.Now().Add(e.opts.BarrierTimeout)
+	for {
+		lo, hi := procs[0].TxnCounter(), procs[0].TxnCounter()
+		for _, p := range procs[1:] {
+			w := p.TxnCounter()
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		if hi-lo <= bound {
+			e.bump(func(s *Stats) {
+				if hi > lo {
+					s.StaleReads++
+				}
+				if hi-lo > s.MaxObservedStaleness {
+					s.MaxObservedStaleness = hi - lo
+				}
+			})
+			return lo, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("replica divergence %d exceeded staleness bound %d for %v", hi-lo, bound, e.opts.BarrierTimeout)
+		}
+		time.Sleep(waitSpin)
+	}
+}
+
+func minWatermark(procs []*NodeProcessor) int64 {
+	m := procs[0].TxnCounter()
+	for _, p := range procs[1:] {
+		if w := p.TxnCounter(); w < m {
+			m = w
+		}
+	}
+	return m
+}
+
+// pickLiveExcept returns a live node other than the failed one (the
+// least-loaded would be better; any live node preserves correctness).
+func (e *Engine) pickLiveExcept(failed *NodeProcessor) *NodeProcessor {
+	for _, p := range e.procs {
+		if p != failed && !p.Down() {
+			return p
+		}
+	}
+	return nil
+}
+
+// liveProcs returns the node processors not currently crashed.
+func (e *Engine) liveProcs() []*NodeProcessor {
+	out := make([]*NodeProcessor, 0, len(e.procs))
+	for _, p := range e.procs {
+		if !p.Down() {
+			out = append(out, p)
+		}
+	}
+	return out
+}

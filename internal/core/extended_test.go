@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"apuama/internal/sql"
+	"apuama/internal/tpch"
+)
+
+// TestExtendedQueriesEquivalence runs the extended TPC-H workload
+// through the full cluster and checks exact results plus the documented
+// SVP-eligibility split (Q7flat/Q10/Q19 parallelize; Q17/Q18 fall back,
+// the paper's "cannot be transformed" case).
+func TestExtendedQueriesEquivalence(t *testing.T) {
+	s := buildStack(t, 3, DefaultOptions())
+	var svpCount int64
+	for _, qn := range tpch.ExtendedQueryNumbers {
+		text, err := tpch.ExtendedQuery(qn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.single(t, text)
+		got, err := s.ctl.Query(text)
+		if err != nil {
+			t.Fatalf("Q%d: %v\n%s", qn, err, text)
+		}
+		assertSameResult(t, fmt.Sprintf("extended Q%d", qn), got, want, true)
+		st := s.eng.Snapshot()
+		if tpch.SVPEligibleExtended(qn) {
+			if st.SVPQueries != svpCount+1 {
+				t.Errorf("Q%d should run with SVP (fallbacks: %v)", qn, st.FallbackReasons)
+			}
+			svpCount = st.SVPQueries
+		} else if st.SVPQueries != svpCount {
+			t.Errorf("Q%d unexpectedly ran with SVP", qn)
+		}
+	}
+}
+
+func TestExtendedQueriesParse(t *testing.T) {
+	for _, qn := range tpch.ExtendedQueryNumbers {
+		text, err := tpch.ExtendedQuery(qn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sql.ParseSelect(text); err != nil {
+			t.Errorf("Q%d does not parse: %v", qn, err)
+		}
+	}
+	if _, err := tpch.ExtendedQuery(2); err == nil {
+		t.Error("Q2 should be rejected")
+	}
+}
+
+// TestExtractInSVP: extract(year from ...) as a group key must survive
+// the SVP decomposition round trip (Q7's shape).
+func TestExtractInSVP(t *testing.T) {
+	s := buildStack(t, 2, DefaultOptions())
+	q := `select extract(year from l_shipdate) as y, count(*) as n
+		from lineitem group by extract(year from l_shipdate) order by y`
+	want := s.single(t, q)
+	got, err := s.ctl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "extract group", got, want, false)
+	if len(got.Rows) < 3 {
+		t.Fatalf("expected several ship years: %v", got.Rows)
+	}
+	if st := s.eng.Snapshot(); st.SVPQueries != 1 {
+		t.Errorf("extract query should be SVP-eligible: %v", st.FallbackReasons)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"apuama/internal/tpch"
+)
+
+// TestSVPDegradesWhenNodeDies: a crashed node drops out of the fan-out;
+// the survivors cover the whole key domain and the query still returns
+// the exact answer.
+func TestSVPDegradesWhenNodeDies(t *testing.T) {
+	s := buildStack(t, 4, DefaultOptions())
+	want := s.single(t, tpch.MustQuery(6))
+	s.eng.Procs()[2].Kill()
+	got, err := s.ctl.Query(tpch.MustQuery(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "degraded Q6", got, want, false)
+	st := s.eng.Snapshot()
+	if st.SubQueries != 3 {
+		t.Errorf("expected 3 sub-queries on survivors, got %d", st.SubQueries)
+	}
+}
+
+func TestAllNodesDead(t *testing.T) {
+	s := buildStack(t, 2, DefaultOptions())
+	for _, p := range s.eng.Procs() {
+		p.Kill()
+	}
+	if _, err := s.ctl.Query(tpch.MustQuery(6)); err == nil {
+		t.Fatal("expected failure with no live nodes")
+	}
+}
+
+// TestPassThroughFailsOver: OLTP pass-through reads fail over to another
+// backend when the picked one is down (the controller's C-JDBC-style
+// behaviour through Apuama proxies).
+func TestPassThroughFailsOver(t *testing.T) {
+	s := buildStack(t, 3, DefaultOptions())
+	s.eng.Procs()[0].Kill()
+	s.eng.Procs()[1].Kill()
+	// nation is not virtually partitioned: pass-through path.
+	res, err := s.ctl.Query("select n_name from nation where n_nationkey = 2")
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "BRAZIL" {
+		t.Fatalf("%v", res.Rows)
+	}
+	if got := len(s.ctl.DisabledBackends()); got == 0 {
+		t.Error("controller did not disable failed backends")
+	}
+}
+
+// TestWriteSurvivesDeadReplica: a write commits on the survivors and the
+// dead replica leaves the set.
+func TestWriteSurvivesDeadReplica(t *testing.T) {
+	s := buildStack(t, 3, DefaultOptions())
+	s.eng.Procs()[1].Kill()
+	if _, err := s.ctl.Exec("delete from orders where o_orderkey = 3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		nd := s.nodes[i]
+		res, err := nd.Query("select count(*) from orders where o_orderkey = 3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].I != 0 {
+			t.Errorf("survivor %d did not apply", i)
+		}
+	}
+	if got := s.ctl.DisabledBackends(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("disabled: %v", got)
+	}
+	// SVP over the survivors still answers exactly.
+	want := s.single(t, "select count(*) from orders")
+	got, err := s.ctl.Query("select count(*) from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "post-crash count", got, want, false)
+}
+
+// TestReviveRejoins: a revived node (which missed no writes here) serves
+// again at the engine level.
+func TestReviveRejoins(t *testing.T) {
+	s := buildStack(t, 2, DefaultOptions())
+	p := s.eng.Procs()[0]
+	p.Kill()
+	if !p.Down() {
+		t.Fatal("Kill did not mark down")
+	}
+	p.Revive()
+	if p.Down() {
+		t.Fatal("Revive did not clear")
+	}
+	if _, err := s.ctl.Query(tpch.MustQuery(6)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.eng.Snapshot(); st.SubQueries != 2 {
+		t.Errorf("revived node not used: %d sub-queries", st.SubQueries)
+	}
+}

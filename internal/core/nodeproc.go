@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"apuama/internal/cluster"
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+)
+
+// NodeProcessor mediates all requests to one node engine, exactly like
+// the paper's per-node component: it owns a pool of connections (here a
+// semaphore bounding concurrent statements per node) and a Query Executor
+// that ships a statement and waits for the result.
+type NodeProcessor struct {
+	node *engine.Node
+	pool chan struct{}
+
+	// down simulates a node crash: every request fails with
+	// cluster.ErrBackendDown until Revive. Used by failure-injection
+	// tests and chaos runs.
+	down atomic.Bool
+}
+
+// NewNodeProcessor wraps a node with a connection pool of the given size.
+func NewNodeProcessor(node *engine.Node, poolSize int) *NodeProcessor {
+	if poolSize < 1 {
+		poolSize = 4
+	}
+	return &NodeProcessor{node: node, pool: make(chan struct{}, poolSize)}
+}
+
+// Node exposes the underlying engine (the blocker reads its transaction
+// counter; tests inspect its buffer pool).
+func (p *NodeProcessor) Node() *engine.Node { return p.node }
+
+// acquire takes a pooled connection.
+func (p *NodeProcessor) acquire() func() {
+	p.pool <- struct{}{}
+	return func() { <-p.pool }
+}
+
+// Kill simulates a node crash: subsequent requests report
+// cluster.ErrBackendDown.
+func (p *NodeProcessor) Kill() { p.down.Store(true) }
+
+// Revive clears a simulated crash.
+func (p *NodeProcessor) Revive() { p.down.Store(false) }
+
+// Down reports whether the node is currently "crashed".
+func (p *NodeProcessor) Down() bool { return p.down.Load() }
+
+// Query forwards a read-only statement unchanged (the pass-through path
+// for OLTP queries and SVP-ineligible OLAP queries).
+func (p *NodeProcessor) Query(sqlText string) (*engine.Result, error) {
+	if p.down.Load() {
+		return nil, cluster.ErrBackendDown
+	}
+	release := p.acquire()
+	defer release()
+	return p.node.Query(sqlText)
+}
+
+// QueryAt runs a parsed sub-query pinned to the barrier snapshot, with
+// sequential scans disabled for the duration (the paper's SET
+// enable_seqscan dance around each SVP sub-query).
+func (p *NodeProcessor) QueryAt(stmt *sql.SelectStmt, snapshot int64, forceIndex bool) (*engine.Result, error) {
+	if p.down.Load() {
+		return nil, cluster.ErrBackendDown
+	}
+	release := p.acquire()
+	defer release()
+	return p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex})
+}
+
+// ApplyWrite forwards a middleware-ordered write.
+func (p *NodeProcessor) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
+	if p.down.Load() {
+		return 0, cluster.ErrBackendDown
+	}
+	release := p.acquire()
+	defer release()
+	return p.node.ApplyWrite(writeID, stmt)
+}
+
+// TxnCounter returns the node's transaction counter (its applied-write
+// watermark) — the value the blocker compares across nodes.
+func (p *NodeProcessor) TxnCounter() int64 { return p.node.Watermark() }
+
+// waitSpin is the poll interval of the blocker's convergence loop.
+const waitSpin = 50 * time.Microsecond

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+)
+
+// ErrNotEligible marks queries SVP cannot rewrite; the caller falls back
+// to plain inter-query processing (the paper: "in those cases,
+// intra-query is not explored").
+var ErrNotEligible = errors.New("query is not eligible for virtual partitioning")
+
+// Rewrite is the product of planning a query for SVP: the partial
+// sub-query template (range predicate added per node), the composition
+// query run over the union of partial results, and bookkeeping.
+type Rewrite struct {
+	// Partial is the sub-query template: original FROM/WHERE with
+	// decomposed aggregates projected under stable names (g0.., a0..),
+	// ORDER BY / LIMIT / HAVING stripped (they apply globally).
+	Partial *sql.SelectStmt
+	// PartialCols names the partial projection, in order.
+	PartialCols []string
+	// VPRefs lists the main-FROM table references that receive the
+	// per-node range predicate, with their VPA column.
+	VPRefs []VPRef
+	// Compose is the composition query; its FROM references the
+	// placeholder ComposeFrom, substituted with the temp-table name at
+	// execution time.
+	Compose *sql.SelectStmt
+	// Table is the VP table whose key domain drives partitioning.
+	Table string
+	// GroupCount is the number of leading group-key columns in the
+	// partial projection; the rest are decomposed aggregates.
+	GroupCount int
+	// ComposeOps gives, for each aggregate column of the partial
+	// projection, the fold that merges values across partials
+	// ("sum", "min" or "max"). Used by the streaming composer ablation.
+	ComposeOps []string
+}
+
+// VPRef is one table reference to constrain with a range predicate.
+type VPRef struct {
+	Ref string // alias or table name used in the query
+	VPA string
+}
+
+// ComposeFrom is the placeholder FROM-name in Rewrite.Compose.
+const ComposeFrom = "svp_partials"
+
+// PlanSVP decides eligibility and builds the rewrite, implementing the
+// paper's §2-3 transformation rules:
+//
+//   - the query must reference a virtually partitioned table in its main
+//     FROM clause;
+//   - aggregates must be decomposable (sum, count, min, max; avg is
+//     rewritten as sum+count); DISTINCT aggregates are not;
+//   - sub-queries referencing VP tables must be correlated on the
+//     partitioning key (derived partitioning), otherwise the query
+//     "cannot be transformed";
+//   - ORDER BY, LIMIT and HAVING move to the composition step.
+func PlanSVP(stmt *sql.SelectStmt, cat *Catalog) (*Rewrite, error) {
+	// Find the VP table references in the main FROM.
+	var refs []VPRef
+	var vpTable string
+	for _, tr := range stmt.From {
+		if vt, ok := cat.Lookup(tr.Name); ok {
+			refs = append(refs, VPRef{Ref: tr.RefName(), VPA: vt.VPA})
+			if vpTable == "" {
+				vpTable = tr.Name
+			}
+		}
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("%w: no virtually partitioned table in FROM", ErrNotEligible)
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, fmt.Errorf("%w: SELECT * is not decomposed", ErrNotEligible)
+		}
+	}
+	// Sub-queries referencing VP tables must be key-correlated.
+	for _, sub := range sql.Subqueries(stmt) {
+		if err := checkSubquery(sub, cat); err != nil {
+			return nil, err
+		}
+	}
+
+	aggs := collectAggregates(stmt)
+	for _, a := range aggs {
+		if a.Distinct {
+			return nil, fmt.Errorf("%w: %s(distinct) is not decomposable", ErrNotEligible, a.Name)
+		}
+		switch strings.ToLower(a.Name) {
+		case "sum", "count", "avg", "min", "max":
+		default:
+			return nil, fmt.Errorf("%w: aggregate %s is not decomposable", ErrNotEligible, a.Name)
+		}
+	}
+	if len(aggs) == 0 && len(stmt.GroupBy) == 0 {
+		return buildPlainRewrite(stmt, refs, vpTable)
+	}
+	return buildAggRewrite(stmt, refs, vpTable, aggs)
+}
+
+// checkSubquery enforces the derived-partitioning rule: a sub-query that
+// touches a VP table must contain a top-level equality between that
+// table's VPA and a partitioning key of the outer query (the paper's Q4
+// and Q21 shape). Dimension-only sub-queries pass unconditionally.
+func checkSubquery(sub *sql.SelectStmt, cat *Catalog) error {
+	subRefs := map[string]string{} // ref name -> VPA, for VP tables in the sub's FROM
+	for _, tr := range sub.From {
+		if vt, ok := cat.Lookup(tr.Name); ok {
+			subRefs[tr.RefName()] = vt.VPA
+		}
+	}
+	if len(subRefs) == 0 {
+		return nil
+	}
+	for _, conj := range splitAnd(sub.Where) {
+		cmp, ok := conj.(*sql.CompareExpr)
+		if !ok || cmp.Op != "=" {
+			continue
+		}
+		l, lok := cmp.L.(*sql.ColumnRef)
+		r, rok := cmp.R.(*sql.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		if isVPAOfSub(l, subRefs) && isOuterKey(r, subRefs, cat) {
+			return nil
+		}
+		if isVPAOfSub(r, subRefs) && isOuterKey(l, subRefs, cat) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: sub-query references a partitioned table without key correlation", ErrNotEligible)
+}
+
+func isVPAOfSub(c *sql.ColumnRef, subRefs map[string]string) bool {
+	if c.Table != "" {
+		return subRefs[c.Table] == c.Name
+	}
+	for _, vpa := range subRefs {
+		if vpa == c.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// isOuterKey reports whether the column is a partitioning key reference
+// that does not belong to the sub-query's own FROM list.
+func isOuterKey(c *sql.ColumnRef, subRefs map[string]string, cat *Catalog) bool {
+	if !cat.IsKeyAttr(c.Name) {
+		return false
+	}
+	if c.Table == "" {
+		// Unqualified: outer if no sub-FROM VP table owns this name.
+		for _, vpa := range subRefs {
+			if vpa == c.Name {
+				return false
+			}
+		}
+		return true
+	}
+	_, local := subRefs[c.Table]
+	return !local
+}
+
+func splitAnd(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*sql.AndExpr); ok {
+		return append(splitAnd(a.L), splitAnd(a.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// collectAggregates gathers the distinct aggregate calls (by rendered
+// SQL) from the select list and HAVING, without descending into
+// sub-queries.
+func collectAggregates(stmt *sql.SelectStmt) []*sql.FuncExpr {
+	seen := map[string]bool{}
+	var out []*sql.FuncExpr
+	visit := func(e sql.Expr) {
+		sql.WalkExpr(e, func(x sql.Expr) bool {
+			switch x := x.(type) {
+			case *sql.ExistsExpr, *sql.SubqueryExpr:
+				return false
+			case *sql.InExpr:
+				return x.Sub == nil
+			case *sql.FuncExpr:
+				if x.IsAggregate() {
+					if !seen[x.SQL()] {
+						seen[x.SQL()] = true
+						out = append(out, x)
+					}
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for _, it := range stmt.Items {
+		if !it.Star {
+			visit(it.Expr)
+		}
+	}
+	if stmt.Having != nil {
+		visit(stmt.Having)
+	}
+	return out
+}
+
+// itemName mirrors the engine's output-naming rule.
+func itemName(it sql.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+		return cr.Name
+	}
+	return it.Expr.SQL()
+}
+
+// buildPlainRewrite handles queries without aggregation: partials carry
+// the projected rows, composition unions them and applies DISTINCT /
+// ORDER BY / LIMIT globally.
+func buildPlainRewrite(stmt *sql.SelectStmt, refs []VPRef, vpTable string) (*Rewrite, error) {
+	partial := sql.CloneSelect(stmt)
+	partial.OrderBy = nil
+	partial.Limit = nil
+	cols := make([]string, len(partial.Items))
+	outNames := make([]string, len(partial.Items))
+	for i := range partial.Items {
+		outNames[i] = itemName(stmt.Items[i])
+		cols[i] = fmt.Sprintf("p%d", i)
+		partial.Items[i].Alias = cols[i]
+	}
+	compose := &sql.SelectStmt{
+		Distinct: stmt.Distinct,
+		From:     []sql.TableRef{{Name: ComposeFrom}},
+		Limit:    cloneLimit(stmt.Limit),
+	}
+	for i, c := range cols {
+		compose.Items = append(compose.Items, sql.SelectItem{
+			Expr:  &sql.ColumnRef{Name: c},
+			Alias: outNames[i],
+		})
+	}
+	var err error
+	compose.OrderBy, err = rewriteOrderBy(stmt, outNames)
+	if err != nil {
+		return nil, err
+	}
+	return &Rewrite{Partial: partial, PartialCols: cols, VPRefs: refs, Compose: compose, Table: vpTable}, nil
+}
+
+// buildAggRewrite decomposes aggregates: the partial query groups as the
+// original does but projects raw decomposed aggregates (avg → sum +
+// count); the composition re-aggregates the partials and evaluates the
+// original output expressions over them.
+func buildAggRewrite(stmt *sql.SelectStmt, refs []VPRef, vpTable string, aggs []*sql.FuncExpr) (*Rewrite, error) {
+	partial := sql.CloneSelect(stmt)
+	partial.OrderBy = nil
+	partial.Limit = nil
+	partial.Having = nil
+	partial.Items = nil
+	partial.Distinct = false
+
+	var cols []string
+	groupMap := map[string]sql.Expr{} // original group expr SQL -> compose-side column ref
+	for i, g := range stmt.GroupBy {
+		name := fmt.Sprintf("g%d", i)
+		partial.Items = append(partial.Items, sql.SelectItem{Expr: sql.CloneExpr(g), Alias: name})
+		cols = append(cols, name)
+		groupMap[g.SQL()] = &sql.ColumnRef{Name: name}
+	}
+
+	aggMap := map[string]sql.Expr{} // original aggregate SQL -> compose-side expression
+	var composeOps []string
+	addPartialAgg := func(f *sql.FuncExpr, fold string) string {
+		name := fmt.Sprintf("a%d", len(cols)-len(stmt.GroupBy))
+		partial.Items = append(partial.Items, sql.SelectItem{Expr: f, Alias: name})
+		cols = append(cols, name)
+		composeOps = append(composeOps, fold)
+		return name
+	}
+	for _, a := range aggs {
+		key := a.SQL()
+		fn := strings.ToLower(a.Name)
+		switch fn {
+		case "sum", "count":
+			name := addPartialAgg(&sql.FuncExpr{Name: fn, Args: cloneArgs(a.Args), Star: a.Star}, "sum")
+			// Global sum-of-sums / sum-of-counts.
+			aggMap[key] = &sql.FuncExpr{Name: "sum", Args: []sql.Expr{&sql.ColumnRef{Name: name}}}
+		case "min", "max":
+			name := addPartialAgg(&sql.FuncExpr{Name: fn, Args: cloneArgs(a.Args)}, fn)
+			aggMap[key] = &sql.FuncExpr{Name: fn, Args: []sql.Expr{&sql.ColumnRef{Name: name}}}
+		case "avg":
+			// The paper's example: avg() must be rewritten as sum()
+			// followed by count() "to address a global average".
+			sumName := addPartialAgg(&sql.FuncExpr{Name: "sum", Args: cloneArgs(a.Args)}, "sum")
+			cntName := addPartialAgg(&sql.FuncExpr{Name: "count", Args: cloneArgs(a.Args)}, "sum")
+			aggMap[key] = &sql.BinaryExpr{
+				Op: '/',
+				L:  &sql.FuncExpr{Name: "sum", Args: []sql.Expr{&sql.ColumnRef{Name: sumName}}},
+				R:  &sql.FuncExpr{Name: "sum", Args: []sql.Expr{&sql.ColumnRef{Name: cntName}}},
+			}
+		}
+	}
+
+	compose := &sql.SelectStmt{
+		Distinct: stmt.Distinct,
+		From:     []sql.TableRef{{Name: ComposeFrom}},
+		Limit:    cloneLimit(stmt.Limit),
+	}
+	outNames := make([]string, len(stmt.Items))
+	for i, it := range stmt.Items {
+		outNames[i] = itemName(it)
+		e, err := rewriteComposeExpr(it.Expr, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		compose.Items = append(compose.Items, sql.SelectItem{Expr: e, Alias: outNames[i]})
+	}
+	for i := range stmt.GroupBy {
+		compose.GroupBy = append(compose.GroupBy, &sql.ColumnRef{Name: fmt.Sprintf("g%d", i)})
+	}
+	if stmt.Having != nil {
+		h, err := rewriteComposeExpr(stmt.Having, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		compose.Having = h
+	}
+	var err error
+	compose.OrderBy, err = rewriteOrderBy(stmt, outNames)
+	if err != nil {
+		return nil, err
+	}
+	return &Rewrite{
+		Partial: partial, PartialCols: cols, VPRefs: refs, Compose: compose,
+		Table: vpTable, GroupCount: len(stmt.GroupBy), ComposeOps: composeOps,
+	}, nil
+}
+
+func cloneArgs(args []sql.Expr) []sql.Expr {
+	out := make([]sql.Expr, len(args))
+	for i, a := range args {
+		out[i] = sql.CloneExpr(a)
+	}
+	return out
+}
+
+func cloneLimit(l *int64) *int64 {
+	if l == nil {
+		return nil
+	}
+	n := *l
+	return &n
+}
+
+// rewriteComposeExpr maps an original output expression into composition
+// space: group expressions become gN columns, aggregates become their
+// global re-aggregation, literals pass through, and operators recurse.
+func rewriteComposeExpr(e sql.Expr, groupMap, aggMap map[string]sql.Expr) (sql.Expr, error) {
+	if r, ok := groupMap[e.SQL()]; ok {
+		return sql.CloneExpr(r), nil
+	}
+	if f, ok := e.(*sql.FuncExpr); ok && f.IsAggregate() {
+		r, ok := aggMap[f.SQL()]
+		if !ok {
+			return nil, fmt.Errorf("internal: aggregate %s was not decomposed", f.SQL())
+		}
+		return sql.CloneExpr(r), nil
+	}
+	switch e := e.(type) {
+	case *sql.Literal:
+		return sql.CloneExpr(e), nil
+	case *sql.BinaryExpr:
+		l, err := rewriteComposeExpr(e.L, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteComposeExpr(e.R, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.BinaryExpr{Op: e.Op, L: l, R: r}, nil
+	case *sql.NegExpr:
+		x, err := rewriteComposeExpr(e.E, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.NegExpr{E: x}, nil
+	case *sql.CompareExpr:
+		l, err := rewriteComposeExpr(e.L, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteComposeExpr(e.R, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.CompareExpr{Op: e.Op, L: l, R: r}, nil
+	case *sql.AndExpr:
+		l, err := rewriteComposeExpr(e.L, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteComposeExpr(e.R, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.AndExpr{L: l, R: r}, nil
+	case *sql.OrExpr:
+		l, err := rewriteComposeExpr(e.L, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteComposeExpr(e.R, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.OrExpr{L: l, R: r}, nil
+	case *sql.NotExpr:
+		x, err := rewriteComposeExpr(e.E, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.NotExpr{E: x}, nil
+	case *sql.ExtractExpr:
+		x, err := rewriteComposeExpr(e.E, groupMap, aggMap)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.ExtractExpr{Field: e.Field, E: x}, nil
+	case *sql.CaseExpr:
+		c := &sql.CaseExpr{}
+		for _, w := range e.Whens {
+			cond, err := rewriteComposeExpr(w.Cond, groupMap, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			then, err := rewriteComposeExpr(w.Then, groupMap, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, sql.When{Cond: cond, Then: then})
+		}
+		if e.Else != nil {
+			els, err := rewriteComposeExpr(e.Else, groupMap, aggMap)
+			if err != nil {
+				return nil, err
+			}
+			c.Else = els
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("%w: %T above aggregation cannot be composed", ErrNotEligible, e)
+	}
+}
+
+// rewriteOrderBy maps ORDER BY keys to composition output columns by
+// alias or expression-text match against the original select list.
+func rewriteOrderBy(stmt *sql.SelectStmt, outNames []string) ([]sql.OrderItem, error) {
+	var out []sql.OrderItem
+	for _, oi := range stmt.OrderBy {
+		pos := -1
+		if cr, ok := oi.Expr.(*sql.ColumnRef); ok && cr.Table == "" {
+			for i, n := range outNames {
+				if n == cr.Name {
+					pos = i
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			want := oi.Expr.SQL()
+			for i, it := range stmt.Items {
+				if !it.Star && it.Expr.SQL() == want {
+					pos = i
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("%w: ORDER BY key %q is not in the select list", ErrNotEligible, oi.Expr.SQL())
+		}
+		out = append(out, sql.OrderItem{Expr: &sql.ColumnRef{Name: outNames[pos]}, Desc: oi.Desc})
+	}
+	return out, nil
+}
+
+// SubQuery instantiates sub-query i of n: a clone of the partial template
+// with the range predicate `ref.vpa >= v1 and ref.vpa < v2` added for
+// every VP table reference (the paper's formula (2)).
+func (rw *Rewrite) SubQuery(i, n int, lo, hi int64) *sql.SelectStmt {
+	v1, v2 := Partition(lo, hi, n, i)
+	sub := sql.CloneSelect(rw.Partial)
+	for _, ref := range rw.VPRefs {
+		col := &sql.ColumnRef{Table: ref.Ref, Name: ref.VPA}
+		rangePred := &sql.AndExpr{
+			L: &sql.CompareExpr{Op: ">=", L: col, R: intLit(v1)},
+			R: &sql.CompareExpr{Op: "<", L: sql.CloneExpr(col), R: intLit(v2)},
+		}
+		if sub.Where == nil {
+			sub.Where = rangePred
+		} else {
+			sub.Where = &sql.AndExpr{L: sub.Where, R: rangePred}
+		}
+	}
+	return sub
+}
+
+func intLit(v int64) *sql.Literal {
+	return &sql.Literal{Val: sqltypes.NewInt(v)}
+}

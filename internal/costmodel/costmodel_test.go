@@ -1,0 +1,103 @@
+package costmodel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDefaults(t *testing.T) {
+	d := Default()
+	if d.PageSize != 8192 || d.CachePages == 0 {
+		t.Errorf("default: %+v", d)
+	}
+	if d.RandPageRead <= d.SeqPageRead {
+		t.Error("random IO should cost more than sequential")
+	}
+	if d.RealSleep {
+		t.Error("default should not sleep")
+	}
+	q := TestConfig()
+	if q.CachePages >= d.CachePages {
+		t.Error("test config should have a smaller cache")
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(TestConfig())
+	m.Charge(time.Millisecond)
+	m.Charge(2 * time.Millisecond)
+	if m.Virtual() != 3*time.Millisecond {
+		t.Errorf("virtual: %v", m.Virtual())
+	}
+	m.Charge(0)
+	m.Charge(-time.Second) // ignored
+	if m.Virtual() != 3*time.Millisecond {
+		t.Errorf("non-positive charges must be ignored: %v", m.Virtual())
+	}
+	m.Reset()
+	if m.Virtual() != 0 {
+		t.Error("reset")
+	}
+}
+
+func TestMeterNoSleepWithoutRealSleep(t *testing.T) {
+	m := NewMeter(TestConfig())
+	m.Charge(time.Second)
+	start := time.Now()
+	m.Flush()
+	m.MaybeFlush()
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("flush slept without RealSleep")
+	}
+}
+
+func TestMeterSleepsAndCompensates(t *testing.T) {
+	cfg := TestConfig()
+	cfg.RealSleep = true
+	m := NewMeter(cfg)
+	total := 20 * time.Millisecond
+	start := time.Now()
+	// Charge in small increments with MaybeFlush, like a scan loop.
+	for i := 0; i < 20; i++ {
+		m.Charge(time.Millisecond)
+		m.MaybeFlush()
+	}
+	m.Flush()
+	elapsed := time.Since(start)
+	if elapsed < total/2 {
+		t.Errorf("slept too little: %v for %v charged", elapsed, total)
+	}
+	// Self-compensation keeps the overshoot bounded even with many small
+	// sleeps (generous bound: scheduling noise on busy machines).
+	if elapsed > total*5 {
+		t.Errorf("slept far too much: %v for %v charged", elapsed, total)
+	}
+	if m.Virtual() != total {
+		t.Errorf("virtual: %v", m.Virtual())
+	}
+}
+
+func TestMeterConcurrentCharges(t *testing.T) {
+	m := NewMeter(TestConfig())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Charge(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Virtual() != 8*1000*time.Microsecond {
+		t.Errorf("lost charges: %v", m.Virtual())
+	}
+}
+
+func TestConfigHasWriteFanout(t *testing.T) {
+	if Default().WriteFanout <= 0 {
+		t.Error("default write fan-out missing")
+	}
+}

@@ -1,0 +1,143 @@
+// Package driver registers an "apuama" database/sql driver speaking the
+// wire protocol, so standard Go applications can use the cluster the way
+// the paper's applications used C-JDBC through JDBC:
+//
+//	import _ "apuama/internal/driver"
+//
+//	db, err := sql.Open("apuama", "127.0.0.1:7654")
+//	rows, err := db.Query("select count(*) from orders")
+//
+// The dialect has no placeholder support; statements with bind arguments
+// are rejected.
+package driver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"apuama/internal/sqltypes"
+	"apuama/internal/wire"
+)
+
+func init() {
+	sql.Register("apuama", &Driver{})
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open dials a wire server; the DSN is its host:port.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	c, err := wire.Dial(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: c}, nil
+}
+
+type conn struct {
+	c *wire.Client
+}
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{c: c.c, query: query}, nil
+}
+
+func (c *conn) Close() error { return c.c.Close() }
+
+// Begin is unsupported: each statement autocommits, as in the paper's
+// refresh streams.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("apuama: transactions are not supported (statements autocommit)")
+}
+
+// Ping lets database/sql verify connectivity.
+func (c *conn) Ping() error { return c.c.Ping() }
+
+type stmt struct {
+	c     *wire.Client
+	query string
+}
+
+func (s *stmt) Close() error { return nil }
+
+// NumInput returns 0: the dialect has no placeholders.
+func (s *stmt) NumInput() int { return 0 }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, errors.New("apuama: bind arguments are not supported")
+	}
+	n, err := s.c.Exec(s.query)
+	if err != nil {
+		return nil, err
+	}
+	return result{n: n}, nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, errors.New("apuama: bind arguments are not supported")
+	}
+	res, err := s.c.Query(s.query)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{cols: res.Cols, rows: res.Rows}, nil
+}
+
+type result struct{ n int64 }
+
+func (r result) LastInsertId() (int64, error) {
+	return 0, errors.New("apuama: LastInsertId is not supported")
+}
+func (r result) RowsAffected() (int64, error) { return r.n, nil }
+
+type rows struct {
+	cols []string
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rows) {
+		return io.EOF
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		dv, err := toDriverValue(v)
+		if err != nil {
+			return err
+		}
+		dest[i] = dv
+	}
+	return nil
+}
+
+// toDriverValue maps engine values onto database/sql's value set.
+func toDriverValue(v sqltypes.Value) (driver.Value, error) {
+	switch v.K {
+	case sqltypes.KindNull:
+		return nil, nil
+	case sqltypes.KindInt:
+		return v.I, nil
+	case sqltypes.KindFloat:
+		return v.F, nil
+	case sqltypes.KindString:
+		return v.S, nil
+	case sqltypes.KindBool:
+		return v.I != 0, nil
+	case sqltypes.KindDate:
+		return time.Unix(0, 0).UTC().AddDate(0, 0, int(v.I)), nil
+	default:
+		return nil, fmt.Errorf("apuama: cannot convert %s value", v.K)
+	}
+}

@@ -1,0 +1,140 @@
+package driver
+
+import (
+	"database/sql"
+	"testing"
+	"time"
+
+	apuama "apuama"
+	"apuama/internal/wire"
+)
+
+// startCluster serves a tiny real cluster over the wire protocol.
+func startCluster(t *testing.T) string {
+	t.Helper()
+	cfg := apuama.Config{Nodes: 2}
+	cfg.Cost = apuama.DefaultCost()
+	cfg.Cost.RealSleep = false
+	c, err := apuama.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadTPCH(0.001, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := wire.Serve("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestDatabaseSQLRoundTrip(t *testing.T) {
+	addr := startCluster(t)
+	db, err := sql.Open("apuama", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	var n int64
+	if err := db.QueryRow("select count(*) from orders").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1500 {
+		t.Fatalf("count: %d", n)
+	}
+
+	rows, err := db.Query("select o_orderkey, o_totalprice, o_orderdate from orders where o_orderkey <= 3 order by o_orderkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil || len(cols) != 3 {
+		t.Fatalf("cols: %v %v", cols, err)
+	}
+	count := 0
+	for rows.Next() {
+		var key int64
+		var price float64
+		var date time.Time
+		if err := rows.Scan(&key, &price, &date); err != nil {
+			t.Fatal(err)
+		}
+		if date.Year() < 1992 || date.Year() > 1998 {
+			t.Errorf("date out of TPC-H range: %v", date)
+		}
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("rows: %d", count)
+	}
+}
+
+func TestExecThroughDriver(t *testing.T) {
+	addr := startCluster(t)
+	db, err := sql.Open("apuama", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Exec("delete from lineitem where l_orderkey = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.RowsAffected(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.LastInsertId(); err == nil {
+		t.Error("LastInsertId should be unsupported")
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	addr := startCluster(t)
+	db, err := sql.Open("apuama", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query("select nope from orders"); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Error("transactions should be unsupported")
+	}
+	if _, err := db.Query("select count(*) from orders where o_orderkey = ?", 1); err == nil {
+		t.Error("bind args should be rejected")
+	}
+	bad, err := sql.Open("apuama", "127.0.0.1:1")
+	if err == nil {
+		if err := bad.Ping(); err == nil {
+			t.Error("connecting to a dead address should fail")
+		}
+		bad.Close()
+	}
+}
+
+func TestNullScanning(t *testing.T) {
+	addr := startCluster(t)
+	db, err := sql.Open("apuama", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var s sql.NullFloat64
+	if err := db.QueryRow("select sum(o_totalprice) from orders where o_orderkey > 99999999").Scan(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Valid {
+		t.Errorf("empty sum should be NULL: %+v", s)
+	}
+}

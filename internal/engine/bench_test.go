@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/sqltypes"
+)
+
+func benchDB(b *testing.B, nOrders, itemsPer int) *Node {
+	b.Helper()
+	db := NewDatabase(costmodel.TestConfig())
+	nd := NewNode(0, db)
+	mustExec := func(s string) {
+		if _, err := nd.Exec(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustExec(`create table orders (ok bigint, cust bigint, total double, odate date, primary key (ok))`)
+	mustExec(`create table items (ok bigint, ln bigint, qty double, price double, tag varchar, primary key (ok, ln))`)
+	orel, _ := db.Relation("orders")
+	irel, _ := db.Relation("items")
+	tags := []string{"RED", "GREEN", "BLUE"}
+	for o := 1; o <= nOrders; o++ {
+		if _, err := orel.Insert(0, sqltypes.Row{
+			sqltypes.NewInt(int64(o)), sqltypes.NewInt(int64(o % 13)),
+			sqltypes.NewFloat(float64(o)), sqltypes.NewDate(int64(8000 + o%365)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for l := 1; l <= itemsPer; l++ {
+			if _, err := irel.Insert(0, sqltypes.Row{
+				sqltypes.NewInt(int64(o)), sqltypes.NewInt(int64(l)),
+				sqltypes.NewFloat(float64(l)), sqltypes.NewFloat(float64(o * l)),
+				sqltypes.NewString(tags[(o+l)%3]),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return nd
+}
+
+func BenchmarkSeqScanAggregate(b *testing.B) {
+	nd := benchDB(b, 5000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.Query("select count(*), sum(price) from items"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexRangeScan(b *testing.B) {
+	nd := benchDB(b, 5000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := i%4000 + 1
+		q := fmt.Sprintf("select sum(price) from items where ok between %d and %d", lo, lo+500)
+		if _, err := nd.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	nd := benchDB(b, 3000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.Query(`select o.cust, count(*) from orders o, items i
+			where o.ok = i.ok group by o.cust`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByManyGroups(b *testing.B) {
+	nd := benchDB(b, 5000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.Query("select ok, sum(price) from items group by ok"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrelatedExists(b *testing.B) {
+	nd := benchDB(b, 1000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.Query(`select count(*) from orders where exists
+			(select 1 from items where items.ok = orders.ok and qty = 2)`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanOnly(b *testing.B) {
+	nd := benchDB(b, 100, 1)
+	stmt := mustSelectB(b, `select o.cust, sum(i.price) from orders o, items i
+		where o.ok = i.ok and o.total > 10 group by o.cust order by o.cust limit 5`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := nd.planSelect(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyWriteDelete(b *testing.B) {
+	nd := benchDB(b, b.N+10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.Exec(fmt.Sprintf("delete from items where ok = %d", i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,740 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"apuama/internal/sqltypes"
+	"apuama/internal/storage"
+)
+
+// execCtx is the runtime context of one plan execution on one node.
+type execCtx struct {
+	node     *Node
+	snapshot int64
+	params   []sqltypes.Value
+}
+
+// op is a volcano-style operator: open, a stream of next calls (nil row
+// signals end of stream), close.
+type op interface {
+	open(ex *execCtx) error
+	next(ex *execCtx) (sqltypes.Row, error)
+	close()
+}
+
+// --- sequential scan ---
+
+// seqScanOp reads every heap page in order, applying MVCC visibility and
+// an optional filter. Every page access goes through the node's buffer
+// pool with sequential-read cost.
+type seqScanOp struct {
+	rel    *storage.Relation
+	filter bexpr // may be nil
+
+	pages []*storage.Page
+	pi    int
+	slot  int32
+}
+
+func (s *seqScanOp) open(ex *execCtx) error {
+	s.pages = s.rel.PageSnapshot()
+	s.pi, s.slot = 0, 0
+	if s.pi < len(s.pages) {
+		ex.node.touchPage(s.pages[0].ID, true)
+	}
+	return nil
+}
+
+func (s *seqScanOp) next(ex *execCtx) (sqltypes.Row, error) {
+	cfg := ex.node.meter.Config()
+	for s.pi < len(s.pages) {
+		p := s.pages[s.pi]
+		n := int32(p.Count())
+		for s.slot < n {
+			slot := s.slot
+			s.slot++
+			ex.node.meter.Charge(cfg.CPUTuple)
+			if !p.Visible(slot, ex.snapshot) {
+				continue
+			}
+			row := p.Row(slot)
+			if s.filter != nil {
+				v, err := s.filter.eval(&evalCtx{ex: ex, row: row})
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			return row, nil
+		}
+		s.pi++
+		s.slot = 0
+		if s.pi < len(s.pages) {
+			ex.node.touchPage(s.pages[s.pi].ID, true)
+			ex.node.meter.MaybeFlush()
+		}
+	}
+	return nil, nil
+}
+
+func (s *seqScanOp) close() { s.pages = nil }
+
+// --- index range scan ---
+
+// indexScanOp walks a B-tree range, fetching heap rows in index order.
+// Bounds are expressions so correlated parameters work as runtime keys
+// (index nested-loop sub-queries). A scan over the clustered index is
+// charged sequential IO — its heap accesses are physically contiguous —
+// while secondary-index fetches pay random IO.
+type indexScanOp struct {
+	rel            *storage.Relation
+	index          *storage.Index
+	lo, hi         []bexpr // key prefix bounds; nil slice = open
+	loIncl, hiIncl bool
+	filter         bexpr
+
+	rids   []storage.RowID
+	pos    int
+	lastPg int64
+}
+
+func (s *indexScanOp) open(ex *execCtx) error {
+	evalBound := func(bs []bexpr) (sqltypes.Row, error) {
+		if bs == nil {
+			return nil, nil
+		}
+		key := make(sqltypes.Row, len(bs))
+		for i, b := range bs {
+			v, err := b.eval(&evalCtx{ex: ex})
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		return key, nil
+	}
+	lo, err := evalBound(s.lo)
+	if err != nil {
+		return err
+	}
+	hi, err := evalBound(s.hi)
+	if err != nil {
+		return err
+	}
+	s.rids = s.rids[:0]
+	s.pos = 0
+	s.lastPg = -1
+	cfg := ex.node.meter.Config()
+	s.index.Tree.AscendRange(lo, hi, s.loIncl, s.hiIncl, func(e storage.Entry) bool {
+		s.rids = append(s.rids, e.RID)
+		return true
+	})
+	// Index traversal CPU cost (B-tree pages are assumed cached; heap
+	// dominates, as on a warm PostgreSQL instance).
+	ex.node.meter.Charge(time.Duration(len(s.rids)) * cfg.CPUOperator)
+	return nil
+}
+
+func (s *indexScanOp) next(ex *execCtx) (sqltypes.Row, error) {
+	cfg := ex.node.meter.Config()
+	for s.pos < len(s.rids) {
+		rid := s.rids[s.pos]
+		s.pos++
+		p := s.rel.PageOf(rid)
+		if p == nil {
+			continue
+		}
+		if p.ID != s.lastPg {
+			ex.node.touchPage(p.ID, s.index.Clustered)
+			s.lastPg = p.ID
+			ex.node.meter.MaybeFlush()
+		}
+		ex.node.meter.Charge(cfg.CPUTuple)
+		if !p.Visible(rid.Slot, ex.snapshot) {
+			continue
+		}
+		row := p.Row(rid.Slot)
+		if s.filter != nil {
+			v, err := s.filter.eval(&evalCtx{ex: ex, row: row})
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		return row, nil
+	}
+	return nil, nil
+}
+
+func (s *indexScanOp) close() { s.rids = nil }
+
+// --- filter ---
+
+type filterOp struct {
+	child op
+	cond  bexpr
+}
+
+func (f *filterOp) open(ex *execCtx) error { return f.child.open(ex) }
+
+func (f *filterOp) next(ex *execCtx) (sqltypes.Row, error) {
+	for {
+		row, err := f.child.next(ex)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.cond.eval(&evalCtx{ex: ex, row: row})
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			return row, nil
+		}
+	}
+}
+
+func (f *filterOp) close() { f.child.close() }
+
+// --- hash join ---
+
+// hashJoinOp equi-joins probe (streamed) against build (materialized into
+// a hash table). Output tuples are probe columns followed by build
+// columns. Only inner joins exist in the dialect.
+type hashJoinOp struct {
+	probe, build         op
+	probeKeys, buildKeys []bexpr
+
+	table   map[uint64][]sqltypes.Row // build rows with their key appended? no: key recomputed
+	keysOf  map[uint64][]sqltypes.Row // hash -> build keys, parallel to table
+	matches []sqltypes.Row            // pending matches for current probe row
+	current sqltypes.Row
+}
+
+func (j *hashJoinOp) open(ex *execCtx) error {
+	if err := j.build.open(ex); err != nil {
+		return err
+	}
+	defer j.build.close()
+	j.table = map[uint64][]sqltypes.Row{}
+	j.keysOf = map[uint64][]sqltypes.Row{}
+	cfg := ex.node.meter.Config()
+	for {
+		row, err := j.build.next(ex)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key, null, err := evalKeys(ex, j.buildKeys, row)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := sqltypes.HashRow(key)
+		j.table[h] = append(j.table[h], row)
+		j.keysOf[h] = append(j.keysOf[h], key)
+		ex.node.meter.Charge(cfg.CPUOperator)
+	}
+	return j.probe.open(ex)
+}
+
+func evalKeys(ex *execCtx, keys []bexpr, row sqltypes.Row) (sqltypes.Row, bool, error) {
+	out := make(sqltypes.Row, len(keys))
+	for i, k := range keys {
+		v, err := k.eval(&evalCtx{ex: ex, row: row})
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		out[i] = v
+	}
+	return out, false, nil
+}
+
+func (j *hashJoinOp) next(ex *execCtx) (sqltypes.Row, error) {
+	cfg := ex.node.meter.Config()
+	for {
+		if len(j.matches) > 0 {
+			b := j.matches[0]
+			j.matches = j.matches[1:]
+			out := make(sqltypes.Row, 0, len(j.current)+len(b))
+			out = append(out, j.current...)
+			out = append(out, b...)
+			return out, nil
+		}
+		row, err := j.probe.next(ex)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		ex.node.meter.Charge(cfg.CPUOperator)
+		key, null, err := evalKeys(ex, j.probeKeys, row)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		h := sqltypes.HashRow(key)
+		bucket := j.table[h]
+		if len(bucket) == 0 {
+			continue
+		}
+		bkeys := j.keysOf[h]
+		j.current = row
+		j.matches = j.matches[:0]
+		for i, b := range bucket {
+			if sqltypes.RowsEqual(bkeys[i], key) {
+				j.matches = append(j.matches, b)
+			}
+		}
+	}
+}
+
+func (j *hashJoinOp) close() {
+	j.probe.close()
+	j.table = nil
+	j.keysOf = nil
+}
+
+// --- nested-loop join (cartesian with optional condition) ---
+
+type nestedLoopOp struct {
+	outer, inner op
+	cond         bexpr // may be nil (pure cross product)
+
+	innerRows []sqltypes.Row
+	cur       sqltypes.Row
+	ii        int
+}
+
+func (n *nestedLoopOp) open(ex *execCtx) error {
+	if err := n.inner.open(ex); err != nil {
+		return err
+	}
+	defer n.inner.close()
+	n.innerRows = n.innerRows[:0]
+	for {
+		row, err := n.inner.next(ex)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		n.innerRows = append(n.innerRows, row)
+	}
+	n.cur = nil
+	n.ii = 0
+	return n.outer.open(ex)
+}
+
+func (n *nestedLoopOp) next(ex *execCtx) (sqltypes.Row, error) {
+	for {
+		if n.cur == nil {
+			row, err := n.outer.next(ex)
+			if err != nil || row == nil {
+				return nil, err
+			}
+			n.cur = row
+			n.ii = 0
+		}
+		for n.ii < len(n.innerRows) {
+			b := n.innerRows[n.ii]
+			n.ii++
+			out := make(sqltypes.Row, 0, len(n.cur)+len(b))
+			out = append(out, n.cur...)
+			out = append(out, b...)
+			if n.cond != nil {
+				v, err := n.cond.eval(&evalCtx{ex: ex, row: out})
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			return out, nil
+		}
+		n.cur = nil
+	}
+}
+
+func (n *nestedLoopOp) close() {
+	n.outer.close()
+	n.innerRows = nil
+}
+
+// --- projection ---
+
+type projectOp struct {
+	child op
+	items []bexpr
+}
+
+func (p *projectOp) open(ex *execCtx) error { return p.child.open(ex) }
+
+func (p *projectOp) next(ex *execCtx) (sqltypes.Row, error) {
+	row, err := p.child.next(ex)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(sqltypes.Row, len(p.items))
+	ec := &evalCtx{ex: ex, row: row}
+	for i, it := range p.items {
+		v, err := it.eval(ec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectOp) close() { p.child.close() }
+
+// --- aggregation ---
+
+// aggDef is one aggregate computation. fn is sum/count/avg/min/max; a nil
+// arg means count(*).
+type aggDef struct {
+	fn       string
+	arg      bexpr
+	distinct bool
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max sqltypes.Value
+	seen     map[uint64][]sqltypes.Value // for DISTINCT
+}
+
+func (st *aggState) add(def *aggDef, v sqltypes.Value) {
+	if def.arg != nil && v.IsNull() {
+		return // aggregates skip NULL inputs
+	}
+	if def.distinct {
+		if st.seen == nil {
+			st.seen = map[uint64][]sqltypes.Value{}
+		}
+		h := v.Hash()
+		for _, prev := range st.seen[h] {
+			if sqltypes.Compare(prev, v) == 0 {
+				return
+			}
+		}
+		st.seen[h] = append(st.seen[h], v)
+	}
+	st.count++
+	switch def.fn {
+	case "sum", "avg":
+		if v.K == sqltypes.KindFloat {
+			st.isFloat = true
+			st.sumF += v.F
+		} else {
+			st.sumI += v.I
+		}
+	case "min":
+		if st.min.IsNull() || sqltypes.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+	case "max":
+		if st.max.IsNull() || sqltypes.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	}
+}
+
+func (st *aggState) result(def *aggDef) sqltypes.Value {
+	switch def.fn {
+	case "count":
+		return sqltypes.NewInt(st.count)
+	case "sum":
+		if st.count == 0 {
+			return sqltypes.Null()
+		}
+		if st.isFloat {
+			return sqltypes.NewFloat(st.sumF + float64(st.sumI))
+		}
+		return sqltypes.NewInt(st.sumI)
+	case "avg":
+		if st.count == 0 {
+			return sqltypes.Null()
+		}
+		return sqltypes.NewFloat((st.sumF + float64(st.sumI)) / float64(st.count))
+	case "min":
+		return st.min
+	case "max":
+		return st.max
+	}
+	return sqltypes.Null()
+}
+
+// aggOp computes grouped aggregates. Output tuples are the group keys
+// followed by aggregate results, in definition order. With no GROUP BY it
+// emits exactly one row (SQL scalar-aggregate semantics).
+type aggOp struct {
+	child  op
+	groups []bexpr
+	aggs   []*aggDef
+
+	out []sqltypes.Row
+	pos int
+}
+
+type aggGroup struct {
+	keys   sqltypes.Row
+	states []aggState
+}
+
+func (a *aggOp) open(ex *execCtx) error {
+	if err := a.child.open(ex); err != nil {
+		return err
+	}
+	defer a.child.close()
+	cfg := ex.node.meter.Config()
+	buckets := map[uint64][]*aggGroup{}
+	var order []*aggGroup
+	for {
+		row, err := a.child.next(ex)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		ec := &evalCtx{ex: ex, row: row}
+		keys := make(sqltypes.Row, len(a.groups))
+		for i, g := range a.groups {
+			v, err := g.eval(ec)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		h := sqltypes.HashRow(keys)
+		var grp *aggGroup
+		for _, g := range buckets[h] {
+			if sqltypes.RowsEqual(g.keys, keys) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &aggGroup{keys: keys, states: make([]aggState, len(a.aggs))}
+			buckets[h] = append(buckets[h], grp)
+			order = append(order, grp)
+		}
+		for i, def := range a.aggs {
+			var v sqltypes.Value
+			if def.arg != nil {
+				v, err = def.arg.eval(ec)
+				if err != nil {
+					return err
+				}
+			}
+			grp.states[i].add(def, v)
+			ex.node.meter.Charge(cfg.CPUOperator)
+		}
+		ex.node.meter.MaybeFlush()
+	}
+	if len(a.groups) == 0 && len(order) == 0 {
+		order = append(order, &aggGroup{keys: sqltypes.Row{}, states: make([]aggState, len(a.aggs))})
+	}
+	a.out = a.out[:0]
+	for _, g := range order {
+		row := make(sqltypes.Row, 0, len(g.keys)+len(a.aggs))
+		row = append(row, g.keys...)
+		for i, def := range a.aggs {
+			row = append(row, g.states[i].result(def))
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *aggOp) next(*execCtx) (sqltypes.Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	row := a.out[a.pos]
+	a.pos++
+	return row, nil
+}
+
+func (a *aggOp) close() { a.out = nil }
+
+// --- sort ---
+
+type sortKey struct {
+	expr bexpr
+	desc bool
+}
+
+type sortOp struct {
+	child op
+	keys  []sortKey
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (s *sortOp) open(ex *execCtx) error {
+	if err := s.child.open(ex); err != nil {
+		return err
+	}
+	defer s.child.close()
+	s.rows = s.rows[:0]
+	type keyed struct {
+		row  sqltypes.Row
+		keys sqltypes.Row
+	}
+	var all []keyed
+	for {
+		row, err := s.child.next(ex)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		ks := make(sqltypes.Row, len(s.keys))
+		ec := &evalCtx{ex: ex, row: row}
+		for i, k := range s.keys {
+			v, err := k.expr.eval(ec)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		all = append(all, keyed{row: row, keys: ks})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for k := range s.keys {
+			c := sqltypes.Compare(all[i].keys[k], all[j].keys[k])
+			if s.keys[k].desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, kr := range all {
+		s.rows = append(s.rows, kr.row)
+	}
+	s.pos = 0
+	return nil
+}
+
+func (s *sortOp) next(*execCtx) (sqltypes.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sortOp) close() { s.rows = nil }
+
+// --- limit ---
+
+type limitOp struct {
+	child op
+	n     int64
+	seen  int64
+}
+
+func (l *limitOp) open(ex *execCtx) error {
+	l.seen = 0
+	return l.child.open(ex)
+}
+
+func (l *limitOp) next(ex *execCtx) (sqltypes.Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	row, err := l.child.next(ex)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+func (l *limitOp) close() { l.child.close() }
+
+// --- distinct ---
+
+type distinctOp struct {
+	child op
+	seen  map[uint64][]sqltypes.Row
+}
+
+func (d *distinctOp) open(ex *execCtx) error {
+	d.seen = map[uint64][]sqltypes.Row{}
+	return d.child.open(ex)
+}
+
+func (d *distinctOp) next(ex *execCtx) (sqltypes.Row, error) {
+	for {
+		row, err := d.child.next(ex)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		h := sqltypes.HashRow(row)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if sqltypes.RowsEqual(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, nil
+	}
+}
+
+func (d *distinctOp) close() {
+	d.child.close()
+	d.seen = nil
+}
+
+// run drains an operator into a slice.
+func run(root op, ex *execCtx) ([]sqltypes.Row, error) {
+	if err := root.open(ex); err != nil {
+		return nil, err
+	}
+	defer root.close()
+	var rows []sqltypes.Row
+	for {
+		row, err := root.next(ex)
+		if err != nil {
+			return nil, fmt.Errorf("execution: %w", err)
+		}
+		if row == nil {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+)
+
+// Explain plans a SELECT and renders the operator tree, one line per
+// node, PostgreSQL-style. It is the observability hook the shell and
+// tests use to verify planner decisions (index vs sequential scan, join
+// order, build sides).
+func (nd *Node) Explain(sel *sql.SelectStmt) (*Result, error) {
+	root, _, err := nd.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	describe(root, 0, &lines)
+	res := &Result{Cols: []string{"QUERY PLAN"}}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewString(l)})
+	}
+	return res, nil
+}
+
+// describe renders one operator and recurses into its inputs.
+func describe(o op, depth int, out *[]string) {
+	pad := strings.Repeat("  ", depth)
+	add := func(format string, args ...any) {
+		*out = append(*out, pad+fmt.Sprintf(format, args...))
+	}
+	switch o := o.(type) {
+	case *seqScanOp:
+		f := ""
+		if o.filter != nil {
+			f = " (filtered)"
+		}
+		add("Seq Scan on %s%s", o.rel.Name, f)
+	case *indexScanOp:
+		bound := describeBounds(o)
+		add("Index Scan using %s on %s%s", o.index.Name, o.rel.Name, bound)
+	case *filterOp:
+		add("Filter")
+		describe(o.child, depth+1, out)
+	case *hashJoinOp:
+		add("Hash Join (%d key[s])", len(o.probeKeys))
+		describe(o.probe, depth+1, out)
+		*out = append(*out, pad+"  Hash (build)")
+		describe(o.build, depth+2, out)
+	case *nestedLoopOp:
+		add("Nested Loop")
+		describe(o.outer, depth+1, out)
+		describe(o.inner, depth+1, out)
+	case *aggOp:
+		if len(o.groups) == 0 {
+			add("Aggregate (%d expr[s])", len(o.aggs))
+		} else {
+			add("HashAggregate (%d group key[s], %d aggregate[s])", len(o.groups), len(o.aggs))
+		}
+		describe(o.child, depth+1, out)
+	case *sortOp:
+		add("Sort (%d key[s])", len(o.keys))
+		describe(o.child, depth+1, out)
+	case *limitOp:
+		add("Limit %d", o.n)
+		describe(o.child, depth+1, out)
+	case *distinctOp:
+		add("Unique")
+		describe(o.child, depth+1, out)
+	case *projectOp:
+		add("Project (%d column[s])", len(o.items))
+		describe(o.child, depth+1, out)
+	default:
+		add("%T", o)
+	}
+}
+
+func describeBounds(o *indexScanOp) string {
+	switch {
+	case o.lo != nil && o.hi != nil:
+		return " (range)"
+	case o.lo != nil:
+		return " (lower bound)"
+	case o.hi != nil:
+		return " (upper bound)"
+	default:
+		return " (full)"
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"apuama/internal/sqltypes"
+)
+
+func explainText(t *testing.T, nd *Node, q string) string {
+	t.Helper()
+	res, err := nd.Query("explain " + q)
+	if err != nil {
+		t.Fatalf("explain %q: %v", q, err)
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].S)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestExplainScanChoice(t *testing.T) {
+	_, nd := newTestDB(t, 100, 2)
+	plan := explainText(t, nd, "select ok from orders where ok between 2 and 4")
+	if !strings.Contains(plan, "Index Scan using orders_pkey") {
+		t.Errorf("narrow range plan:\n%s", plan)
+	}
+	plan = explainText(t, nd, "select ok from orders")
+	if !strings.Contains(plan, "Seq Scan on orders") {
+		t.Errorf("full scan plan:\n%s", plan)
+	}
+	// The enable_seqscan knob shows up in EXPLAIN output.
+	nd.Set("enable_seqscan", sqltypes.NewBool(false))
+	plan = explainText(t, nd, "select ok from orders where ok >= 1")
+	if !strings.Contains(plan, "Index Scan") {
+		t.Errorf("seqscan-off plan:\n%s", plan)
+	}
+	nd.Set("enable_seqscan", sqltypes.NewBool(true))
+}
+
+func TestExplainJoinAndAggregate(t *testing.T) {
+	_, nd := newTestDB(t, 50, 2)
+	plan := explainText(t, nd, `select o.cust, sum(i.price) as s from orders o, items i
+		where o.ok = i.ok group by o.cust order by s desc limit 3`)
+	for _, want := range []string{"Hash Join", "HashAggregate", "Sort", "Limit 3", "Project"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("missing %q in plan:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainCartesianAndDistinct(t *testing.T) {
+	_, nd := newTestDB(t, 5, 1)
+	plan := explainText(t, nd, "select distinct o1.ok from orders o1, orders o2")
+	if !strings.Contains(plan, "Nested Loop") || !strings.Contains(plan, "Unique") {
+		t.Errorf("plan:\n%s", plan)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	_, nd := newTestDB(t, 5, 1)
+	if _, err := nd.Query("explain select nope from orders"); err == nil {
+		t.Error("explain of invalid query should fail")
+	}
+	if _, err := nd.Query("explain delete from orders"); err == nil {
+		t.Error("explain of DML should fail to parse")
+	}
+}
+
+func TestExplainRoundTripSQL(t *testing.T) {
+	_, nd := newTestDB(t, 5, 1)
+	res, err := nd.Query("explain select ok from orders where ok = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cols[0] != "QUERY PLAN" || len(res.Rows) == 0 {
+		t.Errorf("%+v", res)
+	}
+}

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"testing"
+
+	"apuama/internal/sql"
+)
+
+func mustParse(t *testing.T, s string) sql.Statement {
+	t.Helper()
+	st, err := sql.Parse(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return st
+}
+
+func mustSelect(t *testing.T, s string) *sql.SelectStmt {
+	t.Helper()
+	sel, ok := mustParse(t, s).(*sql.SelectStmt)
+	if !ok {
+		t.Fatalf("%q is not a SELECT", s)
+	}
+	return sel
+}
+
+func mustSelectB(b *testing.B, s string) *sql.SelectStmt {
+	b.Helper()
+	st, err := sql.Parse(s)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		b.Fatalf("%q is not a SELECT", s)
+	}
+	return sel
+}

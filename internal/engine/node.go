@@ -1,0 +1,489 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+	"apuama/internal/storage"
+)
+
+// Node is one cluster member's engine instance: a view over the shared
+// Database with its own buffer pool, cost meter, snapshot watermark and
+// session settings. In the paper this is one PostgreSQL server; the
+// middleware treats it as a black box that accepts SQL text.
+type Node struct {
+	id    int
+	db    *Database
+	pool  *storage.BufferPool
+	meter *costmodel.Meter
+
+	// watermark is the last write applied on this node; reads snapshot at
+	// this value. It only advances when the middleware delivers writes,
+	// which is how replica divergence (and Apuama's consistency barrier)
+	// is exercised.
+	watermark atomic.Int64
+
+	settingsMu sync.RWMutex
+	settings   map[string]sqltypes.Value
+
+	// forcedIndex counts in-flight queries demanding index access
+	// (QueryOpts.ForceIndexScan); while positive the planner behaves as
+	// if enable_seqscan were off, like the paper's SET around SVP runs.
+	forcedIndex atomic.Int64
+
+	applying sync.Mutex // serializes write application on this node
+}
+
+// NewNode attaches a new node to the database with its own buffer pool.
+func NewNode(id int, db *Database) *Node {
+	meter := costmodel.NewMeter(db.cfg)
+	return &Node{
+		id:       id,
+		db:       db,
+		pool:     storage.NewBufferPool(db.cfg.CachePages, meter),
+		meter:    meter,
+		settings: map[string]sqltypes.Value{},
+	}
+}
+
+// ID returns the node's cluster identifier.
+func (nd *Node) ID() int { return nd.id }
+
+// DB returns the shared database.
+func (nd *Node) DB() *Database { return nd.db }
+
+// Meter returns the node's cost meter.
+func (nd *Node) Meter() *costmodel.Meter { return nd.meter }
+
+// Pool returns the node's buffer pool.
+func (nd *Node) Pool() *storage.BufferPool { return nd.pool }
+
+// Watermark returns the last applied write ID (the read snapshot).
+func (nd *Node) Watermark() int64 { return nd.watermark.Load() }
+
+// AttachAt fast-forwards a fresh node's watermark to writeID, as when a
+// new replica attaches from a backup taken at a known replication
+// position. It must only move forward.
+func (nd *Node) AttachAt(writeID int64) error {
+	nd.applying.Lock()
+	defer nd.applying.Unlock()
+	if wm := nd.watermark.Load(); writeID < wm {
+		return fmt.Errorf("cannot attach at %d: watermark already %d", writeID, wm)
+	}
+	nd.watermark.Store(writeID)
+	return nil
+}
+
+// touchPage charges a page access to the node's buffer pool.
+func (nd *Node) touchPage(pageID int64, sequential bool) {
+	nd.pool.Access(pageID, sequential)
+}
+
+// Set stores a session setting (SET name = value).
+func (nd *Node) Set(name string, v sqltypes.Value) {
+	nd.settingsMu.Lock()
+	defer nd.settingsMu.Unlock()
+	nd.settings[name] = v
+}
+
+// Setting returns a session setting and whether it was set.
+func (nd *Node) Setting(name string) (sqltypes.Value, bool) {
+	nd.settingsMu.RLock()
+	defer nd.settingsMu.RUnlock()
+	v, ok := nd.settings[name]
+	return v, ok
+}
+
+// EnableSeqscan reports the enable_seqscan knob (default true, as in
+// PostgreSQL), honouring any in-flight ForceIndexScan queries.
+func (nd *Node) EnableSeqscan() bool {
+	if nd.forcedIndex.Load() > 0 {
+		return false
+	}
+	if v, ok := nd.Setting("enable_seqscan"); ok {
+		return v.Bool()
+	}
+	return true
+}
+
+// Query parses and executes a SELECT at the node's current snapshot.
+func (nd *Node) Query(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return nd.QueryStmt(st)
+	case *sql.ExplainStmt:
+		return nd.Explain(st.Query)
+	default:
+		return nil, fmt.Errorf("Query expects a SELECT; use Exec for %T", stmt)
+	}
+}
+
+// QueryStmt executes a parsed SELECT at the node's current snapshot.
+func (nd *Node) QueryStmt(sel *sql.SelectStmt) (*Result, error) {
+	return nd.QueryStmtAt(sel, nd.watermark.Load(), QueryOpts{})
+}
+
+// QueryOpts carries per-query planner overrides. ForceIndexScan pins
+// enable_seqscan=off for this query only — the per-connection SET the
+// Apuama paper issues around each SVP sub-query, without perturbing
+// concurrent sessions on the same node.
+type QueryOpts struct {
+	ForceIndexScan bool
+}
+
+// QueryStmtAt executes a parsed SELECT at an explicit snapshot. The
+// Apuama consistency barrier captures one snapshot for all replicas and
+// passes it here so sub-queries observe identical database states even
+// while unblocked updates proceed.
+func (nd *Node) QueryStmtAt(sel *sql.SelectStmt, snapshot int64, opts QueryOpts) (*Result, error) {
+	if opts.ForceIndexScan {
+		nd.forcedIndex.Add(1)
+		defer nd.forcedIndex.Add(-1)
+	}
+	root, cols, err := nd.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ex := &execCtx{node: nd, snapshot: snapshot}
+	rows, err := run(root, ex)
+	if err != nil {
+		return nil, err
+	}
+	nd.meter.Flush()
+	return &Result{Cols: cols, Rows: rows}, nil
+}
+
+// Exec executes any statement in standalone (single-node) mode: writes
+// get a fresh database-wide write ID. Cluster mode instead delivers
+// writes through ApplyWrite with middleware-assigned IDs.
+func (nd *Node) Exec(sqlText string) (affected int64, err error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return 0, fmt.Errorf("Exec cannot run SELECT; use Query")
+	case *sql.SetStmt:
+		nd.Set(st.Name, st.Value)
+		return 0, nil
+	case *sql.CreateTableStmt:
+		_, err := nd.db.CreateTable(st)
+		return 0, err
+	case *sql.CreateIndexStmt:
+		return 0, nd.db.CreateIndex(st)
+	default:
+		writeID := nd.db.NextWriteID()
+		return nd.ApplyWrite(writeID, stmt)
+	}
+}
+
+// ApplyWrite applies a middleware-ordered write statement. Write IDs are
+// dense and must be delivered in order per node; the underlying shared
+// heap makes re-application by other replicas idempotent while each node
+// still pays the IO/CPU cost it would have paid with private storage.
+func (nd *Node) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
+	nd.applying.Lock()
+	defer nd.applying.Unlock()
+	if wm := nd.watermark.Load(); writeID <= wm {
+		return 0, fmt.Errorf("write %d already applied (watermark %d)", writeID, wm)
+	}
+	var affected int64
+	var err error
+	switch st := stmt.(type) {
+	case *sql.InsertStmt:
+		affected, err = nd.execInsert(writeID, st)
+	case *sql.DeleteStmt:
+		affected, err = nd.execDelete(writeID, st)
+	case *sql.UpdateStmt:
+		affected, err = nd.execUpdate(writeID, st)
+	default:
+		return 0, fmt.Errorf("statement %T is not a write", stmt)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Advance the snapshot even on partial application errors? No: writes
+	// either fully apply or fail before any mutation below.
+	nd.watermark.Store(writeID)
+	nd.meter.Flush()
+	return affected, nil
+}
+
+// execInsert applies an INSERT. The first replica to reach this write
+// performs the shared-heap mutation; later replicas charge equivalent
+// write IO without duplicating rows.
+func (nd *Node) execInsert(writeID int64, st *sql.InsertStmt) (int64, error) {
+	rel, err := nd.db.Relation(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	cols := st.Columns
+	if len(cols) == 0 {
+		for _, c := range rel.Schema.Cols {
+			cols = append(cols, c.Name)
+		}
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p := rel.Schema.ColIndex(c)
+		if p < 0 {
+			return 0, fmt.Errorf("table %s has no column %q", st.Table, c)
+		}
+		positions[i] = p
+	}
+	// Evaluate all rows before mutating anything.
+	rows := make([]sqltypes.Row, len(st.Rows))
+	for ri, exprs := range st.Rows {
+		if len(exprs) != len(cols) {
+			return 0, fmt.Errorf("INSERT row %d has %d values for %d columns", ri, len(exprs), len(cols))
+		}
+		row := make(sqltypes.Row, len(rel.Schema.Cols))
+		for i, e := range exprs {
+			v, ok := literalValue(e)
+			if !ok {
+				return 0, fmt.Errorf("INSERT values must be constants")
+			}
+			cv, err := coerce(v, rel.Schema.Cols[positions[i]].Kind)
+			if err != nil {
+				return 0, fmt.Errorf("column %s: %w", cols[i], err)
+			}
+			row[positions[i]] = cv
+		}
+		rows[ri] = row
+	}
+	perform := rel.ClaimWrite(writeID)
+	cfg := nd.meter.Config()
+	for _, row := range rows {
+		if perform {
+			rid, err := rel.Insert(writeID, row)
+			if err != nil {
+				return 0, err
+			}
+			nd.touchPage(rel.PageOf(rid).ID, false)
+		} else {
+			// Replay on a replica: same write IO against this node's cache.
+			nd.touchPage(tailPageID(rel), false)
+			nd.meter.Charge(cfg.CPUTuple)
+		}
+		nd.meter.MaybeFlush()
+	}
+	return int64(len(rows)), nil
+}
+
+func tailPageID(rel *storage.Relation) int64 {
+	pages := rel.PageSnapshot()
+	if len(pages) == 0 {
+		return 0
+	}
+	return pages[len(pages)-1].ID
+}
+
+// execDelete applies a DELETE: scan at the pre-write snapshot, CAS-kill
+// matches. The kill is naturally idempotent across replicas.
+func (nd *Node) execDelete(writeID int64, st *sql.DeleteStmt) (int64, error) {
+	rids, rel, err := nd.collectTargets(writeID, st.Table, st.Where)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, rid := range rids {
+		rel.MarkDeleted(rid, writeID)
+		n++
+	}
+	return n, nil
+}
+
+// execUpdate applies an UPDATE as delete+insert of new versions. The
+// replica that wins each row's kill inserts that row's new version, so
+// every version appears exactly once even with replicas racing.
+func (nd *Node) execUpdate(writeID int64, st *sql.UpdateStmt) (int64, error) {
+	rel, err := nd.db.Relation(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	set := make(map[int]bexpr, len(st.Set))
+	b := &binder{node: nd}
+	layout := make([]colID, len(rel.Schema.Cols))
+	for c := range layout {
+		layout[c] = colID{t: 0, c: c}
+	}
+	sc := &scope{tables: []tableBinding{{ref: st.Table, rel: rel}}, outputs: layout}
+	for _, a := range st.Set {
+		p := rel.Schema.ColIndex(a.Column)
+		if p < 0 {
+			return 0, fmt.Errorf("table %s has no column %q", st.Table, a.Column)
+		}
+		be, err := b.bind(a.Expr, sc)
+		if err != nil {
+			return 0, err
+		}
+		set[p] = be
+	}
+	rids, _, err := nd.collectTargets(writeID, st.Table, st.Where)
+	if err != nil {
+		return 0, err
+	}
+	ex := &execCtx{node: nd, snapshot: writeID - 1}
+	var n int64
+	for _, rid := range rids {
+		old := rel.Fetch(rid)
+		if !rel.MarkDeleted(rid, writeID) {
+			n++
+			continue // another replica already applied this row's update
+		}
+		updated := old.Clone()
+		ec := &evalCtx{ex: ex, row: old}
+		for p, be := range set {
+			v, err := be.eval(ec)
+			if err != nil {
+				return 0, err
+			}
+			cv, err := coerce(v, rel.Schema.Cols[p].Kind)
+			if err != nil {
+				return 0, err
+			}
+			updated[p] = cv
+		}
+		nrid, err := rel.Insert(writeID, updated)
+		if err != nil {
+			return 0, err
+		}
+		nd.touchPage(rel.PageOf(nrid).ID, false)
+		n++
+	}
+	return n, nil
+}
+
+// collectTargets plans and runs a scan of the target table returning the
+// RowIDs matching the WHERE clause at the pre-write snapshot.
+func (nd *Node) collectTargets(writeID int64, table string, where sql.Expr) ([]storage.RowID, *storage.Relation, error) {
+	rel, err := nd.db.Relation(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Build a scan like the query planner would, but keep RowIDs: reuse
+	// the SELECT machinery over a synthetic single-table query, walking
+	// pages directly.
+	b := &binder{node: nd}
+	var params []bexpr
+	nameScope := &scope{tables: []tableBinding{{ref: table, rel: rel}}, params: &params}
+	var filters []sql.Expr
+	if where != nil {
+		filters = splitConjuncts(where)
+		for _, f := range filters {
+			if containsSubquery(f) {
+				return nil, nil, fmt.Errorf("sub-queries in DML WHERE clauses are not supported")
+			}
+		}
+	}
+	layout := make([]colID, len(rel.Schema.Cols))
+	for c := range layout {
+		layout[c] = colID{t: 0, c: c}
+	}
+	scanScope := nameScope.withOutputs(layout)
+	var filter bexpr
+	for _, f := range filters {
+		bf, err := b.bind(f, scanScope)
+		if err != nil {
+			return nil, nil, err
+		}
+		if filter == nil {
+			filter = bf
+		} else {
+			filter = &andExpr{l: filter, r: bf}
+		}
+	}
+	snapshot := writeID - 1
+	ex := &execCtx{node: nd, snapshot: snapshot}
+	cfg := nd.meter.Config()
+
+	var rids []storage.RowID
+	best := chooseAccessPath(rel, filters, nameScope)
+	if best != nil && (best.selectivity <= 0.2 || !nd.EnableSeqscan()) {
+		scan := &indexScanOp{rel: rel, index: best.index, loIncl: best.loIncl, hiIncl: best.hiIncl, filter: nil}
+		lo, hi, err := bindBounds(b, best, nameScope)
+		if err != nil {
+			return nil, nil, err
+		}
+		scan.lo, scan.hi = lo, hi
+		if err := scan.open(ex); err != nil {
+			return nil, nil, err
+		}
+		lastPg := int64(-1)
+		for _, rid := range scan.rids {
+			p := rel.PageOf(rid)
+			if p == nil {
+				continue
+			}
+			if p.ID != lastPg {
+				nd.touchPage(p.ID, best.index.Clustered)
+				lastPg = p.ID
+			}
+			nd.meter.Charge(cfg.CPUTuple)
+			if !p.Visible(rid.Slot, snapshot) {
+				continue
+			}
+			if filter != nil {
+				v, err := filter.eval(&evalCtx{ex: ex, row: p.Row(rid.Slot)})
+				if err != nil {
+					return nil, nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			rids = append(rids, rid)
+		}
+		scan.close()
+		return rids, rel, nil
+	}
+	for pi, p := range rel.PageSnapshot() {
+		nd.touchPage(p.ID, true)
+		n := int32(p.Count())
+		for s := int32(0); s < n; s++ {
+			nd.meter.Charge(cfg.CPUTuple)
+			if !p.Visible(s, snapshot) {
+				continue
+			}
+			if filter != nil {
+				v, err := filter.eval(&evalCtx{ex: ex, row: p.Row(s)})
+				if err != nil {
+					return nil, nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			rids = append(rids, storage.RowID{Page: int32(pi), Slot: s})
+		}
+		nd.meter.MaybeFlush()
+	}
+	return rids, rel, nil
+}
+
+// coerce converts a literal to the column kind where SQL would
+// (int→float widening, string→date parsing); NULL passes through.
+func coerce(v sqltypes.Value, k sqltypes.Kind) (sqltypes.Value, error) {
+	if v.IsNull() || v.K == k {
+		return v, nil
+	}
+	switch {
+	case k == sqltypes.KindFloat && v.K == sqltypes.KindInt:
+		return sqltypes.NewFloat(float64(v.I)), nil
+	case k == sqltypes.KindInt && v.K == sqltypes.KindFloat && v.F == float64(int64(v.F)):
+		return sqltypes.NewInt(int64(v.F)), nil
+	case k == sqltypes.KindDate && v.K == sqltypes.KindString:
+		return sqltypes.ParseDate(v.S)
+	default:
+		return sqltypes.Null(), fmt.Errorf("cannot store %s value in %s column", v.K, k)
+	}
+}

@@ -1,0 +1,107 @@
+// Package memdb provides the fast in-memory composition database the
+// paper uses HSQLDB for: Apuama's Result Composer inserts each node's
+// partial result into a temporary table here and runs the composition
+// query (global re-aggregation, ordering, limiting) against it.
+//
+// It is an instance of our own engine with a free cost model — an
+// in-memory database pays no simulated disk IO.
+package memdb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+)
+
+// MemDB is one in-memory composition database.
+type MemDB struct {
+	db   *engine.Database
+	node *engine.Node
+	seq  atomic.Int64
+}
+
+// New creates an empty in-memory database.
+func New() *MemDB {
+	cfg := costmodel.Config{
+		PageSize:   64 * 1024,
+		CachePages: 1 << 30, // everything stays "in RAM": no IO charges
+	}
+	db := engine.NewDatabase(cfg)
+	return &MemDB{db: db, node: engine.NewNode(0, db)}
+}
+
+// LoadResult creates (or replaces nothing — names must be fresh) a table
+// holding the given rows. Column kinds are inferred from the data, with
+// numeric columns widened to float when any row requires it. The unique
+// table name is returned so concurrent compositions never collide.
+func (m *MemDB) LoadResult(prefix string, cols []string, rows []sqltypes.Row) (string, error) {
+	if len(cols) == 0 {
+		return "", fmt.Errorf("memdb: result has no columns")
+	}
+	name := fmt.Sprintf("%s_%d", prefix, m.seq.Add(1))
+	kinds := inferKinds(len(cols), rows)
+	st := &sql.CreateTableStmt{Name: name}
+	for i, c := range cols {
+		st.Columns = append(st.Columns, sql.ColumnDef{Name: c, Type: kinds[i]})
+	}
+	rel, err := m.db.CreateTable(st)
+	if err != nil {
+		return "", err
+	}
+	for _, row := range rows {
+		conv := make(sqltypes.Row, len(row))
+		for i, v := range row {
+			conv[i] = widen(v, kinds[i])
+		}
+		if _, err := rel.Insert(0, conv); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+// Query runs a SELECT against the composition database.
+func (m *MemDB) Query(sqlText string) (*engine.Result, error) {
+	return m.node.Query(sqlText)
+}
+
+// QueryStmt runs a parsed SELECT against the composition database.
+func (m *MemDB) QueryStmt(sel *sql.SelectStmt) (*engine.Result, error) {
+	return m.node.QueryStmt(sel)
+}
+
+// inferKinds derives column kinds from data: the first non-null value
+// sets the kind; ints widen to float if any float appears.
+func inferKinds(n int, rows []sqltypes.Row) []sqltypes.Kind {
+	kinds := make([]sqltypes.Kind, n)
+	for _, row := range rows {
+		for i, v := range row {
+			if i >= n || v.IsNull() {
+				continue
+			}
+			switch {
+			case kinds[i] == sqltypes.KindNull:
+				kinds[i] = v.K
+			case kinds[i] == sqltypes.KindInt && v.K == sqltypes.KindFloat:
+				kinds[i] = sqltypes.KindFloat
+			}
+		}
+	}
+	for i := range kinds {
+		if kinds[i] == sqltypes.KindNull {
+			kinds[i] = sqltypes.KindString // all-NULL column: any kind works
+		}
+	}
+	return kinds
+}
+
+func widen(v sqltypes.Value, k sqltypes.Kind) sqltypes.Value {
+	if v.K == sqltypes.KindInt && k == sqltypes.KindFloat {
+		return sqltypes.NewFloat(float64(v.I))
+	}
+	return v
+}

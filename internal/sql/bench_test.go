@@ -1,0 +1,63 @@
+package sql
+
+import "testing"
+
+var benchQueries = []struct {
+	name string
+	text string
+}{
+	{"point", "select o_totalprice from orders where o_orderkey = 42"},
+	{"q1", `select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty,
+		sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+		avg(l_discount) as avg_disc, count(*) as count_order
+		from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day
+		group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus`},
+	{"q21", `select s_name, count(*) as numwait
+		from supplier, lineitem l1, orders, nation
+		where s_suppkey = l1.l_suppkey and o_orderkey = l1.l_orderkey
+		and o_orderstatus = 'F' and l1.l_receiptdate > l1.l_commitdate
+		and exists (select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey and l2.l_suppkey <> l1.l_suppkey)
+		and not exists (select * from lineitem l3 where l3.l_orderkey = l1.l_orderkey and l3.l_suppkey <> l1.l_suppkey and l3.l_receiptdate > l3.l_commitdate)
+		and s_nationkey = n_nationkey and n_name = 'SAUDI ARABIA'
+		group by s_name order by numwait desc, s_name limit 100`},
+}
+
+func BenchmarkParse(b *testing.B) {
+	for _, q := range benchQueries {
+		b.Run(q.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Parse(q.text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	stmts := make([]Statement, len(benchQueries))
+	for i, q := range benchQueries {
+		st, err := Parse(q.text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stmts[i] = st
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range stmts {
+			_ = st.SQL()
+		}
+	}
+}
+
+func BenchmarkCloneSelect(b *testing.B) {
+	st, err := ParseSelect(benchQueries[2].text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CloneSelect(st)
+	}
+}

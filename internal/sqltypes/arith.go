@@ -1,0 +1,117 @@
+package sqltypes
+
+import "fmt"
+
+// Arithmetic over values follows PostgreSQL's numeric promotion rules for
+// the subset we support: int op int → int (except division by a non-divisor
+// promotes to float, which is what TPC-H's decimal arithmetic needs),
+// anything involving a float → float, date ± int → date, date - date → int.
+// Any operation with a NULL operand yields NULL.
+
+// Add returns a + b.
+func Add(a, b Value) (Value, error) { return arith(a, b, '+') }
+
+// Sub returns a - b.
+func Sub(a, b Value) (Value, error) { return arith(a, b, '-') }
+
+// Mul returns a * b.
+func Mul(a, b Value) (Value, error) { return arith(a, b, '*') }
+
+// Div returns a / b. Division by zero is an error, as in PostgreSQL.
+func Div(a, b Value) (Value, error) { return arith(a, b, '/') }
+
+func arith(a, b Value, op byte) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	// Date arithmetic: date ± interval, date ± int days, date - date.
+	if a.K == KindDate || b.K == KindDate || a.K == KindInterval || b.K == KindInterval {
+		return dateArith(a, b, op)
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), fmt.Errorf("operator %c not defined for %s and %s", op, a.K, b.K)
+	}
+	if a.K == KindFloat || b.K == KindFloat || op == '/' {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch op {
+		case '+':
+			return NewFloat(af + bf), nil
+		case '-':
+			return NewFloat(af - bf), nil
+		case '*':
+			return NewFloat(af * bf), nil
+		case '/':
+			if bf == 0 {
+				return Null(), fmt.Errorf("division by zero")
+			}
+			return NewFloat(af / bf), nil
+		}
+	}
+	switch op {
+	case '+':
+		return NewInt(a.I + b.I), nil
+	case '-':
+		return NewInt(a.I - b.I), nil
+	case '*':
+		return NewInt(a.I * b.I), nil
+	}
+	return Null(), fmt.Errorf("unknown operator %c", op)
+}
+
+func dateArith(a, b Value, op byte) (Value, error) {
+	switch {
+	case a.K == KindDate && b.K == KindInterval:
+		return shiftDate(a, b, op)
+	case a.K == KindInterval && b.K == KindDate && op == '+':
+		return shiftDate(b, a, '+')
+	case a.K == KindDate && b.K == KindInt:
+		switch op {
+		case '+':
+			return NewDate(a.I + b.I), nil
+		case '-':
+			return NewDate(a.I - b.I), nil
+		}
+	case a.K == KindInt && b.K == KindDate && op == '+':
+		return NewDate(a.I + b.I), nil
+	case a.K == KindDate && b.K == KindDate && op == '-':
+		return NewInt(a.I - b.I), nil
+	}
+	return Null(), fmt.Errorf("operator %c not defined for %s and %s", op, a.K, b.K)
+}
+
+// shiftDate applies an interval to a date using calendar arithmetic (month
+// and year shifts are not fixed day counts).
+func shiftDate(d, iv Value, op byte) (Value, error) {
+	n := int(iv.I)
+	if op == '-' {
+		n = -n
+	} else if op != '+' {
+		return Null(), fmt.Errorf("operator %c not defined for DATE and INTERVAL", op)
+	}
+	t := epoch.AddDate(0, 0, int(d.I))
+	switch iv.S {
+	case "day":
+		t = t.AddDate(0, 0, n)
+	case "month":
+		t = t.AddDate(0, n, 0)
+	case "year":
+		t = t.AddDate(n, 0, 0)
+	default:
+		return Null(), fmt.Errorf("unknown interval unit %q", iv.S)
+	}
+	return NewDate(int64(t.Sub(epoch).Hours() / 24)), nil
+}
+
+// Neg returns -a for numeric values.
+func Neg(a Value) (Value, error) {
+	switch a.K {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		return NewInt(-a.I), nil
+	case KindFloat:
+		return NewFloat(-a.F), nil
+	default:
+		return Null(), fmt.Errorf("unary minus not defined for %s", a.K)
+	}
+}

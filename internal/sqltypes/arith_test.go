@@ -1,0 +1,138 @@
+package sqltypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustOK(t *testing.T) func(Value, error) Value {
+	return func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+}
+
+func TestIntArith(t *testing.T) {
+	if v := mustOK(t)(Add(NewInt(2), NewInt(3))); v.K != KindInt || v.I != 5 {
+		t.Errorf("2+3 = %v", v)
+	}
+	if v := mustOK(t)(Sub(NewInt(2), NewInt(3))); v.I != -1 {
+		t.Errorf("2-3 = %v", v)
+	}
+	if v := mustOK(t)(Mul(NewInt(4), NewInt(3))); v.I != 12 {
+		t.Errorf("4*3 = %v", v)
+	}
+	// Division always promotes to float (decimal semantics).
+	if v := mustOK(t)(Div(NewInt(7), NewInt(2))); v.K != KindFloat || v.F != 3.5 {
+		t.Errorf("7/2 = %v", v)
+	}
+}
+
+func TestFloatPromotion(t *testing.T) {
+	if v := mustOK(t)(Add(NewInt(1), NewFloat(0.5))); v.K != KindFloat || v.F != 1.5 {
+		t.Errorf("1+0.5 = %v", v)
+	}
+	if v := mustOK(t)(Mul(NewFloat(2), NewFloat(3))); v.F != 6 {
+		t.Errorf("2.0*3.0 = %v", v)
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	for _, op := range []func(Value, Value) (Value, error){Add, Sub, Mul, Div} {
+		if v := mustOK(t)(op(Null(), NewInt(1))); !v.IsNull() {
+			t.Error("NULL op x should be NULL")
+		}
+		if v := mustOK(t)(op(NewInt(1), Null())); !v.IsNull() {
+			t.Error("x op NULL should be NULL")
+		}
+	}
+	if v := mustOK(t)(Neg(Null())); !v.IsNull() {
+		t.Error("-NULL should be NULL")
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("expected division by zero error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("expected division by zero error (float)")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	if _, err := Add(NewString("a"), NewInt(1)); err == nil {
+		t.Error("string + int should error")
+	}
+	if _, err := Neg(NewString("a")); err == nil {
+		t.Error("-string should error")
+	}
+	if _, err := Mul(MustDate("1994-01-01"), NewInt(2)); err == nil {
+		t.Error("date * int should error")
+	}
+}
+
+func TestDateArith(t *testing.T) {
+	d := MustDate("1994-03-15")
+	if v := mustOK(t)(Add(d, NewInt(10))); v.DateString() != "1994-03-25" {
+		t.Errorf("date+10 = %v", v)
+	}
+	if v := mustOK(t)(Sub(d, NewInt(14))); v.DateString() != "1994-03-01" {
+		t.Errorf("date-14 = %v", v)
+	}
+	if v := mustOK(t)(Add(NewInt(1), d)); v.DateString() != "1994-03-16" {
+		t.Errorf("1+date = %v", v)
+	}
+	d2 := MustDate("1994-04-15")
+	if v := mustOK(t)(Sub(d2, d)); v.K != KindInt || v.I != 31 {
+		t.Errorf("date-date = %v", v)
+	}
+}
+
+func TestIntervalArith(t *testing.T) {
+	d := MustDate("1998-12-01")
+	if v := mustOK(t)(Sub(d, NewInterval(90, "day"))); v.DateString() != "1998-09-02" {
+		t.Errorf("- 90 day = %v", v.DateString())
+	}
+	if v := mustOK(t)(Add(MustDate("1993-07-01"), NewInterval(3, "month"))); v.DateString() != "1993-10-01" {
+		t.Errorf("+ 3 month = %v", v.DateString())
+	}
+	if v := mustOK(t)(Add(MustDate("1994-01-01"), NewInterval(1, "year"))); v.DateString() != "1995-01-01" {
+		t.Errorf("+ 1 year = %v", v.DateString())
+	}
+	if v := mustOK(t)(Add(NewInterval(1, "day"), MustDate("1994-01-01"))); v.DateString() != "1994-01-02" {
+		t.Errorf("interval+date = %v", v.DateString())
+	}
+	if _, err := Add(d, NewInterval(1, "fortnight")); err == nil {
+		t.Error("unknown interval unit should error")
+	}
+	if _, err := Mul(d, NewInterval(1, "day")); err == nil {
+		t.Error("date * interval should error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v := mustOK(t)(Neg(NewInt(5))); v.I != -5 {
+		t.Errorf("-5 = %v", v)
+	}
+	if v := mustOK(t)(Neg(NewFloat(2.5))); v.F != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+}
+
+// Property: int addition is commutative and subtraction inverts it.
+func TestArithProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := NewInt(int64(a)), NewInt(int64(b))
+		s1, _ := Add(x, y)
+		s2, _ := Add(y, x)
+		back, _ := Sub(s1, y)
+		return s1.I == s2.I && back.I == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package sqltypes
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindInt: "BIGINT", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindDate: "DATE", KindBool: "BOOLEAN",
+		KindInterval: "INTERVAL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() is not null")
+	}
+	if v := NewInt(42); v.K != KindInt || v.I != 42 || v.AsInt() != 42 || v.AsFloat() != 42 {
+		t.Errorf("NewInt: %+v", v)
+	}
+	if v := NewFloat(2.5); v.K != KindFloat || v.AsFloat() != 2.5 || v.AsInt() != 2 {
+		t.Errorf("NewFloat: %+v", v)
+	}
+	if v := NewString("hi"); v.K != KindString || v.S != "hi" {
+		t.Errorf("NewString: %+v", v)
+	}
+	if v := NewBool(true); !v.Bool() {
+		t.Error("NewBool(true) not true")
+	}
+	if v := NewBool(false); v.Bool() {
+		t.Error("NewBool(false) is true")
+	}
+	if NewInt(1).Bool() {
+		t.Error("int should not be Bool()-true")
+	}
+	if Null().AsFloat() != 0 || Null().AsInt() != 0 {
+		t.Error("null coercions should be 0")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("1970-01-01")
+	if err != nil || v.I != 0 {
+		t.Fatalf("epoch: %v %v", v, err)
+	}
+	v, err = ParseDate("1970-01-11")
+	if err != nil || v.I != 10 {
+		t.Fatalf("ten days: %v %v", v, err)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("expected error for bad date")
+	}
+	if got := MustDate("1998-12-01").DateString(); got != "1998-12-01" {
+		t.Errorf("round trip: %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDate should panic on bad input")
+		}
+	}()
+	MustDate("bogus")
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("abc"), "abc"},
+		{MustDate("1994-01-01"), "1994-01-01"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInterval(3, "month"), "interval '3' month"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Null(), NewInt(0), -1},
+		{NewInt(0), Null(), 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(3), NewFloat(3.0), 0},
+		{NewFloat(3.5), NewInt(3), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("a"), NewString("a"), 0},
+		{MustDate("1994-01-01"), MustDate("1995-01-01"), -1},
+		{NewInt(5), NewString("5"), -1}, // numbers sort before strings
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualAndHashConsistency(t *testing.T) {
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Error("3 == 3.0 expected")
+	}
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must be false under SQL equality")
+	}
+	if NewInt(3).Hash() != NewFloat(3).Hash() {
+		t.Error("equal values must hash equally")
+	}
+	if NewString("x").Hash() == NewString("y").Hash() {
+		t.Error("suspicious hash collision on trivial inputs")
+	}
+}
+
+// randomValue generates values across all comparable kinds.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return NewInt(int64(r.Intn(100) - 50))
+	case 2:
+		return NewFloat(float64(r.Intn(100)-50) / 2)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(26))))
+	default:
+		return NewDate(int64(r.Intn(1000)))
+	}
+}
+
+// Property: Compare is a total order — antisymmetric and transitive on
+// random triples, and sorting with it is stable under re-sorting.
+func TestCompareTotalOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+	vals := make([]Value, 500)
+	for i := range vals {
+		vals[i] = randomValue(r)
+	}
+	sort.SliceStable(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	if !sort.SliceIsSorted(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 }) {
+		t.Fatal("sorted slice is not sorted")
+	}
+}
+
+// Property: equal rows hash equally.
+func TestHashRowProperty(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		r1 := Row{NewInt(a), NewFloat(float64(b)), NewString(s)}
+		r2 := Row{NewInt(a), NewFloat(float64(b)), NewString(s)}
+		return HashRow(r1) == HashRow(r2) && RowsEqual(r1, r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowsEqual(t *testing.T) {
+	if !RowsEqual(Row{Null(), NewInt(1)}, Row{Null(), NewFloat(1)}) {
+		t.Error("rows with NULLs in same position and equal numerics should be equal")
+	}
+	if RowsEqual(Row{NewInt(1)}, Row{NewInt(1), NewInt(2)}) {
+		t.Error("length mismatch should not be equal")
+	}
+	if RowsEqual(Row{Null()}, Row{NewInt(0)}) {
+		t.Error("NULL vs 0 should differ")
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].I != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if NewInt(1).Width() != 8 || NewString("abcd").Width() != 8 {
+		t.Errorf("widths: int=%d str=%d", NewInt(1).Width(), NewString("abcd").Width())
+	}
+	r := Row{NewInt(1), NewString("ab")}
+	if got := RowWidth(r); got != 16+8+6 {
+		t.Errorf("RowWidth = %d", got)
+	}
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"apuama/internal/sqltypes"
+)
+
+func TestVacuumReclaimsDeadRows(t *testing.T) {
+	r := fillRelation(t, 200)
+	if _, err := r.AddIndex("pk", []string{"id"}, true, true); err != nil {
+		t.Fatal(err)
+	}
+	pagesBefore := r.NumPages()
+	// Delete rows 0..99 at write 1.
+	deleted := 0
+	for pi, p := range r.PageSnapshot() {
+		for s := int32(0); s < int32(p.Count()); s++ {
+			if p.Row(s)[0].I < 100 {
+				if r.MarkDeleted(RowID{Page: int32(pi), Slot: s}, 1) {
+					deleted++
+				}
+			}
+		}
+	}
+	if deleted != 100 {
+		t.Fatalf("deleted %d", deleted)
+	}
+	removed := r.Vacuum(1)
+	if removed != 100 {
+		t.Fatalf("vacuum removed %d", removed)
+	}
+	if r.NumPages() >= pagesBefore {
+		t.Errorf("pages did not shrink: %d -> %d", pagesBefore, r.NumPages())
+	}
+	// Surviving rows and index agree.
+	ix := r.ClusteredIndex()
+	if ix.Tree.Len() != 100 {
+		t.Fatalf("index entries: %d", ix.Tree.Len())
+	}
+	count := 0
+	ix.Tree.Ascend(func(e Entry) bool {
+		row := r.Fetch(e.RID)
+		if row[0].I < 100 {
+			t.Fatalf("dead row survived: %v", row)
+		}
+		if sqltypes.Compare(e.Key[0], row[0]) != 0 {
+			t.Fatalf("index entry mismatches heap: %v vs %v", e.Key, row)
+		}
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Fatalf("scanned %d", count)
+	}
+}
+
+func TestVacuumKeepsRecentDeletes(t *testing.T) {
+	r := fillRelation(t, 10)
+	// Deleted at write 5, horizon 4: a snapshot at 4 can still see it.
+	if !r.MarkDeleted(RowID{Page: 0, Slot: 0}, 5) {
+		t.Fatal("delete failed")
+	}
+	if removed := r.Vacuum(4); removed != 0 {
+		t.Fatalf("vacuum removed %d visible rows", removed)
+	}
+	// The xmax must survive compaction: at snapshot 5 the row is gone.
+	found := false
+	for _, p := range r.PageSnapshot() {
+		for s := int32(0); s < int32(p.Count()); s++ {
+			if p.Row(s)[0].I == 0 {
+				found = true
+				if p.Visible(s, 5) {
+					t.Error("row deleted at 5 visible at snapshot 5 after vacuum")
+				}
+				if !p.Visible(s, 4) {
+					t.Error("row deleted at 5 invisible at snapshot 4 after vacuum")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("row vanished")
+	}
+	// Now advance the horizon: it goes away.
+	if removed := r.Vacuum(5); removed != 1 {
+		t.Error("second vacuum should reclaim")
+	}
+}
+
+func TestVacuumEmptyAndIdempotent(t *testing.T) {
+	r := fillRelation(t, 20)
+	if removed := r.Vacuum(100); removed != 0 {
+		t.Fatalf("nothing to reclaim, removed %d", removed)
+	}
+	if removed := r.Vacuum(100); removed != 0 {
+		t.Fatal("vacuum not idempotent")
+	}
+	if r.LiveRows() != 20 {
+		t.Fatalf("live rows %d", r.LiveRows())
+	}
+}
+
+// Property: after random insert/delete churn and vacuum, the visible set
+// matches a reference map and all indexes are consistent.
+func TestVacuumChurnProperty(t *testing.T) {
+	r := NewRelation("t", testSchema(), 512)
+	if _, err := r.AddIndex("pk", []string{"id"}, true, true); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	live := map[int64]bool{}
+	write := int64(0)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 200; i++ {
+			write++
+			id := int64(round*1000 + i)
+			if _, err := r.Insert(write, sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewString(fmt.Sprint(id)), sqltypes.NewFloat(0)}); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = true
+		}
+		// Random deletes via index lookup.
+		for id := range live {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			write++
+			killWrite := write
+			r.ClusteredIndex().Tree.AscendRange(
+				sqltypes.Row{sqltypes.NewInt(id)}, sqltypes.Row{sqltypes.NewInt(id)}, true, true,
+				func(e Entry) bool {
+					r.MarkDeleted(e.RID, killWrite)
+					return true
+				})
+			delete(live, id)
+		}
+		r.Vacuum(write)
+		// Verify visible set.
+		seen := map[int64]bool{}
+		for _, p := range r.PageSnapshot() {
+			for s := int32(0); s < int32(p.Count()); s++ {
+				if p.Visible(s, write) {
+					seen[p.Row(s)[0].I] = true
+				}
+			}
+		}
+		if len(seen) != len(live) {
+			t.Fatalf("round %d: %d visible, want %d", round, len(seen), len(live))
+		}
+		for id := range live {
+			if !seen[id] {
+				t.Fatalf("round %d: lost row %d", round, id)
+			}
+		}
+		if got := r.ClusteredIndex().Tree.Len(); got != len(live) {
+			t.Fatalf("round %d: index has %d entries, want %d", round, got, len(live))
+		}
+	}
+}

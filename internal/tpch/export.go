@@ -1,0 +1,46 @@
+package tpch
+
+import (
+	"encoding/csv"
+	"io"
+
+	"apuama/internal/engine"
+)
+
+// ExportCSV writes one relation as CSV (header row first, values
+// rendered with the engine's display formatting; dates as YYYY-MM-DD).
+// Only rows visible at snapshot 0 — the base population — are written.
+// Returns the number of data rows.
+func ExportCSV(db *engine.Database, table string, w io.Writer) (int, error) {
+	rel, err := db.Relation(table)
+	if err != nil {
+		return 0, err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(rel.Schema.Cols))
+	for i, c := range rel.Schema.Cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range rel.PageSnapshot() {
+		for s := int32(0); s < int32(p.Count()); s++ {
+			if !p.Visible(s, 0) {
+				continue
+			}
+			row := p.Row(s)
+			rec := make([]string, len(row))
+			for i, v := range row {
+				rec[i] = v.String()
+			}
+			if err := cw.Write(rec); err != nil {
+				return 0, err
+			}
+			n++
+		}
+	}
+	cw.Flush()
+	return n, cw.Error()
+}

@@ -1,0 +1,140 @@
+package tpch
+
+import "fmt"
+
+// Extended workload: TPC-H queries beyond the paper's evaluation set that
+// the dialect supports. They exercise features the eight-query set does
+// not (EXTRACT, correlated scalar aggregation, IN over a grouped
+// sub-query, large disjunctions) and document which query shapes SVP can
+// and cannot parallelize:
+//
+//   - Q7flat, Q10, Q19: SVP-eligible.
+//   - Q17, Q18: reference fact tables in sub-queries without key
+//     correlation — "cannot be transformed" (paper §2), so the middleware
+//     falls back to inter-query processing. They still return exact
+//     results.
+//
+// Q7 is the specification query with its derived-table wrapper flattened
+// (the dialect has no FROM sub-queries).
+var ExtendedQueryNumbers = []int{7, 10, 17, 18, 19}
+
+// ExtendedQuery returns the text of an extended query with validation
+// parameters.
+func ExtendedQuery(qn int) (string, error) {
+	switch qn {
+	case 7:
+		return Q7Flat("FRANCE", "GERMANY"), nil
+	case 10:
+		return Q10("1993-10-01"), nil
+	case 17:
+		return Q17("Brand#23", "MED BOX"), nil
+	case 18:
+		return Q18(300), nil
+	case 19:
+		return Q19("Brand#12", "Brand#23", "Brand#34"), nil
+	default:
+		return "", fmt.Errorf("query %d is not part of the extended workload", qn)
+	}
+}
+
+// SVPEligibleExtended reports whether the extended query runs with
+// intra-query parallelism (used by tests asserting fallback behaviour).
+func SVPEligibleExtended(qn int) bool {
+	switch qn {
+	case 7, 10, 19:
+		return true
+	default:
+		return false
+	}
+}
+
+// Q7Flat is the volume shipping query, flattened: revenue shipped
+// between two nations per year.
+func Q7Flat(nation1, nation2 string) string {
+	return fmt.Sprintf(`select n1.n_name as supp_nation, n2.n_name as cust_nation,
+	extract(year from l_shipdate) as l_year,
+	sum(l_extendedprice * (1 - l_discount)) as revenue
+from supplier, lineitem, orders, customer, nation n1, nation n2
+where s_suppkey = l_suppkey
+	and o_orderkey = l_orderkey
+	and c_custkey = o_custkey
+	and s_nationkey = n1.n_nationkey
+	and c_nationkey = n2.n_nationkey
+	and (n1.n_name = '%s' and n2.n_name = '%s'
+		or n1.n_name = '%s' and n2.n_name = '%s')
+	and l_shipdate between date '1995-01-01' and date '1996-12-31'
+group by n1.n_name, n2.n_name, extract(year from l_shipdate)
+order by supp_nation, cust_nation, l_year`, nation1, nation2, nation2, nation1)
+}
+
+// Q10 is the returned item reporting query: top customers by lost
+// revenue.
+func Q10(day string) string {
+	return fmt.Sprintf(`select c_custkey, c_name,
+	sum(l_extendedprice * (1 - l_discount)) as revenue,
+	c_acctbal, n_name, c_address, c_phone
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+	and l_orderkey = o_orderkey
+	and o_orderdate >= date '%s'
+	and o_orderdate < date '%s' + interval '3' month
+	and l_returnflag = 'R'
+	and c_nationkey = n_nationkey
+group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+order by revenue desc
+limit 20`, day, day)
+}
+
+// Q17 is the small-quantity-order revenue query: a correlated scalar
+// sub-query over the fact table (keyed on l_partkey, not the VPA, so SVP
+// must fall back).
+func Q17(brand, container string) string {
+	return fmt.Sprintf(`select sum(l_extendedprice) / 7.0 as avg_yearly
+from lineitem, part
+where p_partkey = l_partkey
+	and p_brand = '%s'
+	and p_container = '%s'
+	and l_quantity < (
+		select 0.2 * avg(l_quantity) from lineitem
+		where l_partkey = p_partkey)`, brand, container)
+}
+
+// Q18 is the large volume customer query: IN over a grouped sub-query of
+// the fact table (uncorrelated, so SVP must fall back).
+func Q18(qty int) string {
+	return fmt.Sprintf(`select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+	sum(l_quantity) as total_qty
+from customer, orders, lineitem
+where o_orderkey in (
+		select l_orderkey from lineitem
+		group by l_orderkey having sum(l_quantity) > %d)
+	and c_custkey = o_custkey
+	and o_orderkey = l_orderkey
+group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+order by o_totalprice desc, o_orderdate
+limit 100`, qty)
+}
+
+// Q19 is the discounted revenue query: a three-armed disjunction of
+// conjunctive predicates across lineitem and part.
+func Q19(brand1, brand2, brand3 string) string {
+	return fmt.Sprintf(`select sum(l_extendedprice * (1 - l_discount)) as revenue
+from lineitem, part
+where p_partkey = l_partkey
+	and (
+		p_brand = '%s'
+		and l_quantity between 1 and 11
+		and p_size between 1 and 5
+		and l_shipmode in ('AIR', 'REG AIR')
+		and l_shipinstruct = 'DELIVER IN PERSON'
+	or	p_brand = '%s'
+		and l_quantity between 10 and 20
+		and p_size between 1 and 10
+		and l_shipmode in ('AIR', 'REG AIR')
+		and l_shipinstruct = 'DELIVER IN PERSON'
+	or	p_brand = '%s'
+		and l_quantity between 20 and 30
+		and p_size between 1 and 15
+		and l_shipmode in ('AIR', 'REG AIR')
+		and l_shipinstruct = 'DELIVER IN PERSON')`, brand1, brand2, brand3)
+}

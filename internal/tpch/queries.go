@@ -1,0 +1,250 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// QueryNumbers lists the TPC-H queries the paper evaluates, in order.
+var QueryNumbers = []int{1, 3, 4, 5, 6, 12, 14, 21}
+
+// Query returns the text of TPC-H query qn with the specification's
+// validation parameters (the fixed values used for the paper's isolated
+// speedup runs).
+func Query(qn int) (string, error) {
+	switch qn {
+	case 1:
+		return Q1(90), nil
+	case 3:
+		return Q3("BUILDING", "1995-03-15"), nil
+	case 4:
+		return Q4("1993-07-01"), nil
+	case 5:
+		return Q5("ASIA", "1994-01-01"), nil
+	case 6:
+		return Q6("1994-01-01", 0.06, 24), nil
+	case 12:
+		return Q12("MAIL", "SHIP", "1994-01-01"), nil
+	case 14:
+		return Q14("1995-09-01"), nil
+	case 21:
+		return Q21("SAUDI ARABIA"), nil
+	default:
+		return "", fmt.Errorf("query %d is not part of the paper's workload", qn)
+	}
+}
+
+// MustQuery is Query for the known workload set.
+func MustQuery(qn int) string {
+	s, err := Query(qn)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RandomQuery returns query qn with randomized parameters drawn per the
+// TPC-H substitution rules (used by throughput sequences, where each
+// simulated user submits fresh parameters).
+func RandomQuery(qn int, r *rand.Rand) (string, error) {
+	switch qn {
+	case 1:
+		return Q1(60 + r.Intn(61)), nil
+	case 3:
+		return Q3(segments[r.Intn(len(segments))], fmt.Sprintf("1995-03-%02d", r.Intn(25)+1)), nil
+	case 4:
+		return Q4(fmt.Sprintf("199%d-%02d-01", 3+r.Intn(4), r.Intn(10)+1)), nil
+	case 5:
+		return Q5(regions[r.Intn(len(regions))], fmt.Sprintf("199%d-01-01", 3+r.Intn(5))), nil
+	case 6:
+		return Q6(fmt.Sprintf("199%d-01-01", 3+r.Intn(5)), 0.02+float64(r.Intn(8))/100, 24+r.Intn(2)), nil
+	case 12:
+		m1 := r.Intn(len(shipModes))
+		m2 := (m1 + 1 + r.Intn(len(shipModes)-1)) % len(shipModes)
+		return Q12(shipModes[m1], shipModes[m2], fmt.Sprintf("199%d-01-01", 3+r.Intn(5))), nil
+	case 14:
+		return Q14(fmt.Sprintf("199%d-%02d-01", 3+r.Intn(4), r.Intn(12)+1)), nil
+	case 21:
+		return Q21(nations[r.Intn(len(nations))].name), nil
+	default:
+		return "", fmt.Errorf("query %d is not part of the paper's workload", qn)
+	}
+}
+
+// Q1 is the pricing summary report: a near-full scan of lineitem with
+// heavy aggregation (CPU-bound in the paper's Fig. 2).
+func Q1(deltaDays int) string {
+	return fmt.Sprintf(`select l_returnflag, l_linestatus,
+	sum(l_quantity) as sum_qty,
+	sum(l_extendedprice) as sum_base_price,
+	sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+	sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+	avg(l_quantity) as avg_qty,
+	avg(l_extendedprice) as avg_price,
+	avg(l_discount) as avg_disc,
+	count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-12-01' - interval '%d' day
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus`, deltaDays)
+}
+
+// Q3 is the shipping priority query: customer ⨝ orders ⨝ lineitem with a
+// large result (the paper notes its result cardinality).
+func Q3(segment, day string) string {
+	return fmt.Sprintf(`select l_orderkey,
+	sum(l_extendedprice * (1 - l_discount)) as revenue,
+	o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = '%s'
+	and c_custkey = o_custkey
+	and l_orderkey = o_orderkey
+	and o_orderdate < date '%s'
+	and l_shipdate > date '%s'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10`, segment, day, day)
+}
+
+// Q4 is the order priority checking query: orders with a correlated
+// EXISTS sub-query on lineitem (highly selective; super-linear at 4 nodes
+// in the paper).
+func Q4(day string) string {
+	return fmt.Sprintf(`select o_orderpriority, count(*) as order_count
+from orders
+where o_orderdate >= date '%s'
+	and o_orderdate < date '%s' + interval '3' month
+	and exists (
+		select * from lineitem
+		where l_orderkey = o_orderkey and l_commitdate < l_receiptdate)
+group by o_orderpriority
+order by o_orderpriority`, day, day)
+}
+
+// Q5 is the local supplier volume query: a six-way join.
+func Q5(region, day string) string {
+	return fmt.Sprintf(`select n_name,
+	sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+	and l_orderkey = o_orderkey
+	and l_suppkey = s_suppkey
+	and c_nationkey = s_nationkey
+	and s_nationkey = n_nationkey
+	and n_regionkey = r_regionkey
+	and r_name = '%s'
+	and o_orderdate >= date '%s'
+	and o_orderdate < date '%s' + interval '1' year
+group by n_name
+order by revenue desc`, region, day, day)
+}
+
+// Q6 is the forecasting revenue change query: a single highly selective
+// scan of lineitem (~1.5%% of tuples; the paper's strongest super-linear
+// case).
+func Q6(day string, discount float64, quantity int) string {
+	return fmt.Sprintf(`select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '%s'
+	and l_shipdate < date '%s' + interval '1' year
+	and l_discount between %.2f - 0.01 and %.2f + 0.01
+	and l_quantity < %d`, day, day, discount, discount, quantity)
+}
+
+// Q12 is the shipping modes and order priority query: lineitem ⨝ orders
+// with conditional aggregation.
+func Q12(mode1, mode2, day string) string {
+	return fmt.Sprintf(`select l_shipmode,
+	sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH'
+		then 1 else 0 end) as high_line_count,
+	sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH'
+		then 1 else 0 end) as low_line_count
+from orders, lineitem
+where o_orderkey = l_orderkey
+	and l_shipmode in ('%s', '%s')
+	and l_commitdate < l_receiptdate
+	and l_shipdate < l_commitdate
+	and l_receiptdate >= date '%s'
+	and l_receiptdate < date '%s' + interval '1' year
+group by l_shipmode
+order by l_shipmode`, mode1, mode2, day, day)
+}
+
+// Q14 is the promotion effect query: a ratio of aggregates that the SVP
+// rewriter must decompose into separately composable sums.
+func Q14(day string) string {
+	return fmt.Sprintf(`select 100.00 * sum(case when p_type like 'PROMO%%'
+		then l_extendedprice * (1 - l_discount) else 0.0 end)
+	/ sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+from lineitem, part
+where l_partkey = p_partkey
+	and l_shipdate >= date '%s'
+	and l_shipdate < date '%s' + interval '1' month`, day, day)
+}
+
+// Q21 is the suppliers-who-kept-orders-waiting query: three references to
+// lineitem, two of them in correlated EXISTS/NOT EXISTS sub-queries
+// (CPU-bound in the paper's Fig. 2).
+func Q21(nation string) string {
+	return fmt.Sprintf(`select s_name, count(*) as numwait
+from supplier, lineitem l1, orders, nation
+where s_suppkey = l1.l_suppkey
+	and o_orderkey = l1.l_orderkey
+	and o_orderstatus = 'F'
+	and l1.l_receiptdate > l1.l_commitdate
+	and exists (
+		select * from lineitem l2
+		where l2.l_orderkey = l1.l_orderkey
+			and l2.l_suppkey <> l1.l_suppkey)
+	and not exists (
+		select * from lineitem l3
+		where l3.l_orderkey = l1.l_orderkey
+			and l3.l_suppkey <> l1.l_suppkey
+			and l3.l_receiptdate > l3.l_commitdate)
+	and s_nationkey = n_nationkey
+	and n_name = '%s'
+group by s_name
+order by numwait desc, s_name
+limit 100`, nation)
+}
+
+// Sequence returns the order in which stream `stream` submits the eight
+// workload queries: a deterministic permutation per stream, modelling
+// TPC-H's throughput-test ordering tables.
+func Sequence(stream int) []int {
+	qs := append([]int(nil), QueryNumbers...)
+	if stream <= 0 {
+		return qs
+	}
+	r := rand.New(rand.NewSource(int64(stream) * 1_000_003))
+	r.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+	return qs
+}
+
+// SequenceSet returns n distinct stream orderings (sorted check helper
+// for tests: every ordering is a permutation of QueryNumbers).
+func SequenceSet(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = Sequence(i)
+	}
+	return out
+}
+
+// isPermutation is used by tests.
+func isPermutation(qs []int) bool {
+	s := append([]int(nil), qs...)
+	sort.Ints(s)
+	w := append([]int(nil), QueryNumbers...)
+	sort.Ints(w)
+	if len(s) != len(w) {
+		return false
+	}
+	for i := range s {
+		if s[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"apuama/internal/sqltypes"
+)
+
+// Refresh streams. The paper's mixed-workload experiment runs an update
+// sequence of insert transactions (RF1: new orders with their line items)
+// followed by delete transactions removing exactly the inserted rows
+// (RF2). Each returned statement is one transaction, submitted to the
+// cluster middleware like any client write.
+
+// RefreshStream generates the paper's update sequence: pairs of RF1
+// inserts and then the matching RF2 deletes, for nOrders new orders whose
+// keys start just above the base population.
+type RefreshStream struct {
+	gen      Generator
+	r        *rand.Rand
+	firstKey int64
+	nOrders  int
+}
+
+// NewRefreshStream prepares a stream of nOrders refresh orders.
+func NewRefreshStream(g Generator, nOrders int) *RefreshStream {
+	return &RefreshStream{
+		gen:      g,
+		r:        rand.New(rand.NewSource(g.Seed + 777)),
+		firstKey: g.MaxOrderKey() + 1,
+		nOrders:  nOrders,
+	}
+}
+
+// Statements returns the full update sequence: for each new order an
+// INSERT into orders and an INSERT into lineitem (RF1), then, in a second
+// phase, DELETEs that remove every inserted row (RF2) — the two-step
+// structure described in the paper's §5.
+func (rs *RefreshStream) Statements() []string {
+	var out []string
+	card := Cardinalities(rs.gen.SF)
+	for i := 0; i < rs.nOrders; i++ {
+		key := rs.firstKey + int64(i)
+		orow, lrows := rs.gen.makeOrder(rs.r, key, card["customer"], card["part"], card["supplier"])
+		out = append(out, insertOrders(orow), insertLineitems(lrows))
+	}
+	for i := 0; i < rs.nOrders; i++ {
+		key := rs.firstKey + int64(i)
+		out = append(out,
+			fmt.Sprintf("delete from lineitem where l_orderkey = %d", key),
+			fmt.Sprintf("delete from orders where o_orderkey = %d", key),
+		)
+	}
+	return out
+}
+
+// insertOrders renders one orders tuple as an INSERT statement.
+func insertOrders(row sqltypes.Row) string {
+	return "insert into orders values (" + renderTuple(row) + ")"
+}
+
+// insertLineitems renders an order's line items as one multi-row INSERT
+// (one refresh transaction inserts the order's whole line set).
+func insertLineitems(rows []sqltypes.Row) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = "(" + renderTuple(r) + ")"
+	}
+	return "insert into lineitem values " + strings.Join(parts, ", ")
+}
+
+func renderTuple(row sqltypes.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		switch v.K {
+		case sqltypes.KindString:
+			parts[i] = "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+		case sqltypes.KindDate:
+			parts[i] = "date '" + v.DateString() + "'"
+		case sqltypes.KindNull:
+			parts[i] = "null"
+		default:
+			parts[i] = v.String()
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,347 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+)
+
+const testSF = 0.002 // ~3000 orders, ~12000 lineitems
+
+func loadTest(t *testing.T) (*engine.Database, *engine.Node) {
+	t.Helper()
+	db := engine.NewDatabase(costmodel.TestConfig())
+	g := Generator{SF: testSF, Seed: 1}
+	nd, err := g.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, nd
+}
+
+func TestCardinalities(t *testing.T) {
+	c := Cardinalities(1)
+	if c["orders"] != 1_500_000 || c["region"] != 5 || c["nation"] != 25 {
+		t.Errorf("SF1: %v", c)
+	}
+	c = Cardinalities(0.001)
+	if c["orders"] != 1500 || c["supplier"] != 10 {
+		t.Errorf("SF0.001: %v", c)
+	}
+	if c["customer"] < 1 {
+		t.Error("clamp failed")
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	db, _ := loadTest(t)
+	card := Cardinalities(testSF)
+	for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders"} {
+		rel, err := db.Relation(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(rel.LiveRows()) != card[name] {
+			t.Errorf("%s: %d rows, want %d", name, rel.LiveRows(), card[name])
+		}
+	}
+	li, _ := db.Relation("lineitem")
+	if li.LiveRows() < int64(card["orders"]) || li.LiveRows() > int64(card["orders"]*7) {
+		t.Errorf("lineitem rows: %d", li.LiveRows())
+	}
+	// Clustered indexes exist on fact tables.
+	for name := range FactTables() {
+		rel, _ := db.Relation(name)
+		if rel.ClusteredIndex() == nil {
+			t.Errorf("%s lacks clustered index", name)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	db1 := engine.NewDatabase(costmodel.TestConfig())
+	db2 := engine.NewDatabase(costmodel.TestConfig())
+	g := Generator{SF: 0.001, Seed: 42}
+	n1, err := g.Load(db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := g.Load(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"select count(*), sum(l_extendedprice) from lineitem",
+		"select count(*), sum(o_totalprice) from orders",
+	} {
+		r1, err := n1.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := n2.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Rows[0][0].I != r2.Rows[0][0].I || r1.Rows[0][1].AsFloat() != r2.Rows[0][1].AsFloat() {
+			t.Errorf("nondeterministic: %v vs %v", r1.Rows[0], r2.Rows[0])
+		}
+	}
+}
+
+func TestBadScaleFactor(t *testing.T) {
+	db := engine.NewDatabase(costmodel.TestConfig())
+	if _, err := (Generator{SF: 0}).Load(db); err == nil {
+		t.Error("SF 0 should fail")
+	}
+	if _, err := (Generator{SF: -1}).Load(db); err == nil {
+		t.Error("negative SF should fail")
+	}
+}
+
+func TestQueryTextsParse(t *testing.T) {
+	for _, qn := range QueryNumbers {
+		text, err := Query(qn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sql.ParseSelect(text); err != nil {
+			t.Errorf("Q%d does not parse: %v", qn, err)
+		}
+	}
+	if _, err := Query(2); err == nil {
+		t.Error("Q2 should be rejected")
+	}
+}
+
+func TestAllQueriesExecute(t *testing.T) {
+	_, nd := loadTest(t)
+	expectRows := map[int]bool{1: true, 4: true} // queries that must return rows even at tiny SF
+	for _, qn := range QueryNumbers {
+		res, err := nd.Query(MustQuery(qn))
+		if err != nil {
+			t.Fatalf("Q%d: %v", qn, err)
+		}
+		t.Logf("Q%d: %d rows", qn, len(res.Rows))
+		if expectRows[qn] && len(res.Rows) == 0 {
+			t.Errorf("Q%d returned no rows", qn)
+		}
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	_, nd := loadTest(t)
+	res, err := nd.Query(MustQuery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 10 {
+		t.Fatalf("Q1 columns: %v", res.Cols)
+	}
+	if len(res.Rows) < 3 || len(res.Rows) > 4 {
+		t.Fatalf("Q1 groups: %d", len(res.Rows)) // (A,F), (N,F), (N,O), (R,F)
+	}
+	// avg_qty must equal sum_qty / count_order per group.
+	for _, row := range res.Rows {
+		sumQty, avgQty, n := row[2].AsFloat(), row[6].AsFloat(), row[9].AsFloat()
+		if n == 0 {
+			t.Fatal("empty group emitted")
+		}
+		if diff := sumQty/n - avgQty; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("avg mismatch: %v", row)
+		}
+	}
+}
+
+func TestQ6Selectivity(t *testing.T) {
+	_, nd := loadTest(t)
+	res, err := nd.Query(MustQuery(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q6 rows: %d", len(res.Rows))
+	}
+	total, err := nd.Query("select count(*) from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := nd.Query(`select count(*) from lineitem
+		where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+		and l_discount between 0.05 and 0.07 and l_quantity < 24`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(match.Rows[0][0].I) / float64(total.Rows[0][0].I)
+	if frac <= 0 || frac > 0.08 {
+		t.Errorf("Q6 selectivity %f should be low and non-zero", frac)
+	}
+}
+
+func TestRandomQueryVariants(t *testing.T) {
+	_, nd := loadTest(t)
+	r := newRand(7)
+	for _, qn := range QueryNumbers {
+		for i := 0; i < 3; i++ {
+			text, err := RandomQuery(qn, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := nd.Query(text); err != nil {
+				t.Fatalf("random Q%d variant: %v\n%s", qn, err, text)
+			}
+		}
+	}
+	if _, err := RandomQuery(99, r); err == nil {
+		t.Error("unknown query number should fail")
+	}
+}
+
+func TestSequences(t *testing.T) {
+	seqs := SequenceSet(5)
+	for i, s := range seqs {
+		if !isPermutation(s) {
+			t.Errorf("stream %d is not a permutation: %v", i, s)
+		}
+	}
+	if strings.Join(fmtInts(Sequence(1)), ",") == strings.Join(fmtInts(Sequence(2)), ",") {
+		t.Error("streams 1 and 2 should differ")
+	}
+	// Stream 0 is the canonical order.
+	s0 := Sequence(0)
+	for i, qn := range QueryNumbers {
+		if s0[i] != qn {
+			t.Errorf("stream 0 not canonical: %v", s0)
+		}
+	}
+	// Determinism.
+	a, b := Sequence(3), Sequence(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("sequence not deterministic")
+		}
+	}
+}
+
+func TestRefreshStreamRoundTrip(t *testing.T) {
+	db, nd := loadTest(t)
+	before, err := nd.Query("select count(*) from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Generator{SF: testSF, Seed: 1}
+	rs := NewRefreshStream(g, 5)
+	stmts := rs.Statements()
+	if len(stmts) != 5*2+5*2 {
+		t.Fatalf("statement count: %d", len(stmts))
+	}
+	for _, s := range stmts {
+		if _, err := sql.Parse(s); err != nil {
+			t.Fatalf("refresh statement does not parse: %v\n%s", err, s)
+		}
+		if _, err := nd.Exec(s); err != nil {
+			t.Fatalf("refresh exec: %v\n%s", err, s)
+		}
+	}
+	after, err := nd.Query("select count(*) from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Rows[0][0].I != after.Rows[0][0].I {
+		t.Errorf("RF2 did not remove RF1 rows: %v -> %v", before.Rows[0], after.Rows[0])
+	}
+	// Inserted keys were above the base population.
+	orders, _ := db.Relation("orders")
+	_, maxKey := orders.ColRange(0)
+	if maxKey.I < g.MaxOrderKey()+1 {
+		t.Errorf("refresh keys not above base: %v", maxKey)
+	}
+}
+
+func TestSizeReport(t *testing.T) {
+	db, _ := loadTest(t)
+	rep := SizeReport(db)
+	if rep["lineitem"] == 0 || rep["orders"] == 0 {
+		t.Errorf("size report: %v", rep)
+	}
+	if rep["lineitem"] <= rep["region"] {
+		t.Error("lineitem should dominate")
+	}
+}
+
+func fmtInts(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = string(rune('0' + x%10))
+	}
+	return out
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestExportCSV(t *testing.T) {
+	db, _ := loadTest(t)
+	var buf strings.Builder
+	n, err := ExportCSV(db, "nation", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("rows: %d", n)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 26 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "n_nationkey,") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.Contains(buf.String(), "SAUDI ARABIA") {
+		t.Error("missing nation")
+	}
+	if _, err := ExportCSV(db, "missing", &buf); err == nil {
+		t.Error("missing table should fail")
+	}
+}
+
+func TestSkewedGenerator(t *testing.T) {
+	db := engine.NewDatabase(costmodel.TestConfig())
+	g := Generator{SF: 0.002, Seed: 1, Skew: 6}
+	nd, err := g.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := g.MaxOrderKey() / 10
+	res, err := nd.Query(fmt.Sprintf(
+		"select count(*) from lineitem where l_orderkey <= %d", hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotLines := res.Rows[0][0].I
+	res, err = nd.Query("select count(*) from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Rows[0][0].I
+	frac := float64(hotLines) / float64(total)
+	// 10% of keys should carry far more than 10% of lines (~40%).
+	if frac < 0.25 {
+		t.Errorf("hot fraction %f: skew not applied", frac)
+	}
+	// Uniform generator for contrast.
+	db2 := engine.NewDatabase(costmodel.TestConfig())
+	nd2, err := (Generator{SF: 0.002, Seed: 1}).Load(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ = nd2.Query(fmt.Sprintf("select count(*) from lineitem where l_orderkey <= %d", hot))
+	res2, _ := nd2.Query("select count(*) from lineitem")
+	uniformFrac := float64(res.Rows[0][0].I) / float64(res2.Rows[0][0].I)
+	if uniformFrac > 0.15 {
+		t.Errorf("uniform hot fraction %f unexpectedly high", uniformFrac)
+	}
+}

@@ -1,0 +1,205 @@
+// Package wire exposes a cluster over TCP with a small gob-framed
+// request/response protocol — the stand-in for the paper's JDBC
+// transport between applications and the C-JDBC controller. A
+// database/sql driver over this protocol lives in internal/driver.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"apuama/internal/engine"
+	"apuama/internal/sqltypes"
+)
+
+// Request is one client statement.
+type Request struct {
+	Kind string // "query", "exec" or "ping"
+	SQL  string
+}
+
+// Response carries the outcome: a result set for queries, an affected
+// count for writes, or an error message.
+type Response struct {
+	Cols     []string
+	Rows     []sqltypes.Row
+	Affected int64
+	Err      string
+}
+
+// Handler is what the server serves: the public Cluster satisfies it.
+type Handler interface {
+	Query(sqlText string) (*engine.Result, error)
+	Exec(sqlText string) (int64, error)
+}
+
+// Server accepts connections and serves requests sequentially per
+// connection (like one JDBC session), concurrently across connections.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts listening on addr (use "127.0.0.1:0" for an ephemeral
+// test port) and serving in background goroutines.
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes the listener; in-flight requests
+// finish. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // client went away
+		}
+		var resp Response
+		switch req.Kind {
+		case "ping":
+			// empty response
+		case "query":
+			res, err := s.handler.Query(req.SQL)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Cols = res.Cols
+				resp.Rows = res.Rows
+			}
+		case "exec":
+			n, err := s.handler.Exec(req.SQL)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Affected = n
+			}
+		default:
+			resp.Err = fmt.Sprintf("unknown request kind %q", req.Kind)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Client is one connection to a wire server. Methods are safe for
+// concurrent use (requests are serialized on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, errors.New("wire: client is closed")
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Query runs a read-only statement.
+func (c *Client) Query(sqlText string) (*engine.Result, error) {
+	resp, err := c.roundTrip(Request{Kind: "query", SQL: sqlText})
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Result{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// Exec runs a write/DDL/SET statement.
+func (c *Client) Exec(sqlText string) (int64, error) {
+	resp, err := c.roundTrip(Request{Kind: "exec", SQL: sqlText})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Affected, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Kind: "ping"})
+	return err
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

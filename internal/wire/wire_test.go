@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"apuama/internal/engine"
+	"apuama/internal/sqltypes"
+)
+
+// fakeHandler is a tiny in-memory handler.
+type fakeHandler struct {
+	mu   sync.Mutex
+	rows map[int64]string
+}
+
+func newFake() *fakeHandler { return &fakeHandler{rows: map[int64]string{1: "one", 2: "two"}} }
+
+func (f *fakeHandler) Query(q string) (*engine.Result, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if strings.Contains(q, "boom") {
+		return nil, fmt.Errorf("synthetic failure")
+	}
+	res := &engine.Result{Cols: []string{"k", "v"}}
+	for k, v := range f.rows {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewInt(k), sqltypes.NewString(v)})
+	}
+	return res, nil
+}
+
+func (f *fakeHandler) Exec(q string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if strings.Contains(q, "boom") {
+		return 0, fmt.Errorf("synthetic failure")
+	}
+	f.rows[int64(len(f.rows)+1)] = q
+	return 1, nil
+}
+
+func startServer(t *testing.T) (*Server, *fakeHandler) {
+	t.Helper()
+	h := newFake()
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, h
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("select anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Cols) != 2 {
+		t.Fatalf("%+v", res)
+	}
+	n, err := c.Exec("insert something")
+	if err != nil || n != 1 {
+		t.Fatalf("exec: %d %v", n, err)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query("boom"); err == nil || !strings.Contains(err.Error(), "synthetic") {
+		t.Fatalf("query error: %v", err)
+	}
+	// Connection stays usable after an error response.
+	if _, err := c.Query("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("boom"); err == nil {
+		t.Fatal("exec error lost")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _ := startServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Query("q"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSharedClientConcurrency(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := c.Query("q"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClosedClient(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("double close should be fine")
+	}
+	if _, err := c.Query("q"); err == nil {
+		t.Fatal("query on closed client should fail")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.roundTrip(Request{Kind: "frobnicate"}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	h := newFake()
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial after close should fail")
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	s, _ := startServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package workload drives TPC-H workloads against a cluster the way the
+// paper's experiments do: isolated query timings (five runs, first
+// dropped, mean reported), concurrent read-only query sequences, and
+// mixed read + refresh workloads.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"apuama/internal/engine"
+	"apuama/internal/tpch"
+)
+
+// Session is anything that can execute statements: the public Cluster,
+// a wire client, or a bare controller.
+type Session interface {
+	Query(sqlText string) (*engine.Result, error)
+	Exec(sqlText string) (int64, error)
+}
+
+// IsolatedTiming measures one query the way the paper does: repeats
+// executions, drops the first (cold) run and returns the mean of the
+// rest. All individual runs are returned for inspection.
+func IsolatedTiming(sess Session, sqlText string, repeats int) (mean time.Duration, runs []time.Duration, err error) {
+	if repeats < 2 {
+		repeats = 2
+	}
+	runs = make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := sess.Query(sqlText); err != nil {
+			return 0, nil, fmt.Errorf("run %d: %w", i, err)
+		}
+		runs = append(runs, time.Since(start))
+	}
+	var total time.Duration
+	for _, d := range runs[1:] {
+		total += d
+	}
+	return total / time.Duration(len(runs)-1), runs, nil
+}
+
+// StreamReport summarizes one sequence-execution experiment.
+type StreamReport struct {
+	Queries   int           // read queries completed
+	Elapsed   time.Duration // wall time until every stream finished
+	Durations []time.Duration
+}
+
+// QPM returns throughput in queries per minute.
+func (r StreamReport) QPM() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Minutes()
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of per-query
+// latency, or 0 with no samples.
+func (r StreamReport) Percentile(p float64) time.Duration {
+	if len(r.Durations) == 0 {
+		return 0
+	}
+	ds := append([]time.Duration(nil), r.Durations...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(math.Ceil(p/100*float64(len(ds)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+// RunStreams executes `streams` concurrent TPC-H query sequences. Each
+// stream submits the eight workload queries in its own permutation with
+// fresh random parameters, one at a time (the next query is submitted
+// after the previous completes — the paper's simulated decision-making
+// user). It returns when every stream has finished.
+func RunStreams(sess Session, streams int, seed int64) (StreamReport, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		report   StreamReport
+		firstErr error
+	)
+	start := time.Now()
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(stream)*7919))
+			for _, qn := range tpch.Sequence(stream) {
+				text, err := tpch.RandomQuery(qn, r)
+				if err == nil {
+					qStart := time.Now()
+					_, err = sess.Query(text)
+					if err == nil {
+						mu.Lock()
+						report.Queries++
+						report.Durations = append(report.Durations, time.Since(qStart))
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("stream %d Q%d: %w", stream, qn, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	return report, firstErr
+}
+
+// MixedReport extends StreamReport with update-side measurements.
+type MixedReport struct {
+	StreamReport
+	Updates       int
+	UpdateElapsed time.Duration
+}
+
+// RunMixed executes read streams concurrently with one update sequence
+// (the paper's §5 mixed workload: RF1 inserts then RF2 deletes, each
+// statement an update transaction through the middleware). It returns
+// when the read streams AND the update sequence have both completed.
+func RunMixed(sess Session, readStreams int, seed int64, updates []string) (MixedReport, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		rep      MixedReport
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		uStart := time.Now()
+		for i, stmt := range updates {
+			if _, err := sess.Exec(stmt); err != nil {
+				fail(fmt.Errorf("update %d: %w", i, err))
+				return
+			}
+			mu.Lock()
+			rep.Updates++
+			mu.Unlock()
+		}
+		mu.Lock()
+		rep.UpdateElapsed = time.Since(uStart)
+		mu.Unlock()
+	}()
+	for s := 0; s < readStreams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(stream)*104729))
+			for _, qn := range tpch.Sequence(stream) {
+				text, err := tpch.RandomQuery(qn, r)
+				if err == nil {
+					qStart := time.Now()
+					_, err = sess.Query(text)
+					if err == nil {
+						mu.Lock()
+						rep.Queries++
+						rep.Durations = append(rep.Durations, time.Since(qStart))
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					fail(fmt.Errorf("stream %d Q%d: %w", stream, qn, err))
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	return rep, firstErr
+}

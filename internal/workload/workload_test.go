@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"apuama/internal/engine"
+	"apuama/internal/tpch"
+)
+
+// fakeSession counts statements and can inject failures.
+type fakeSession struct {
+	mu      sync.Mutex
+	queries []string
+	execs   []string
+	failOn  string
+	delay   time.Duration
+}
+
+func (f *fakeSession) Query(q string) (*engine.Result, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failOn != "" && strings.Contains(q, f.failOn) {
+		return nil, fmt.Errorf("injected failure")
+	}
+	f.queries = append(f.queries, q)
+	return &engine.Result{}, nil
+}
+
+func (f *fakeSession) Exec(q string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failOn != "" && strings.Contains(q, f.failOn) {
+		return 0, fmt.Errorf("injected failure")
+	}
+	f.execs = append(f.execs, q)
+	return 1, nil
+}
+
+func TestIsolatedTiming(t *testing.T) {
+	s := &fakeSession{delay: time.Millisecond}
+	mean, runs, err := IsolatedTiming(s, "select 1 from t", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("runs: %d", len(runs))
+	}
+	if mean < time.Millisecond/2 {
+		t.Errorf("mean too small: %v", mean)
+	}
+	// repeats clamp
+	_, runs, err = IsolatedTiming(s, "select 1 from t", 0)
+	if err != nil || len(runs) != 2 {
+		t.Fatalf("clamp: %d %v", len(runs), err)
+	}
+}
+
+func TestIsolatedTimingError(t *testing.T) {
+	s := &fakeSession{failOn: "boom"}
+	if _, _, err := IsolatedTiming(s, "select boom", 3); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunStreams(t *testing.T) {
+	s := &fakeSession{}
+	rep, err := RunStreams(s, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 3*len(tpch.QueryNumbers) {
+		t.Fatalf("queries: %d", rep.Queries)
+	}
+	if rep.Elapsed <= 0 || rep.QPM() <= 0 {
+		t.Errorf("elapsed %v qpm %v", rep.Elapsed, rep.QPM())
+	}
+	if len(rep.Durations) != rep.Queries {
+		t.Errorf("durations: %d", len(rep.Durations))
+	}
+}
+
+func TestRunStreamsErrorStopsStream(t *testing.T) {
+	s := &fakeSession{failOn: "lineitem"}
+	_, err := RunStreams(s, 2, 1)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunMixed(t *testing.T) {
+	s := &fakeSession{}
+	updates := []string{"insert 1", "insert 2", "delete 1", "delete 2"}
+	rep, err := RunMixed(s, 2, 1, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Updates != 4 {
+		t.Fatalf("updates: %d", rep.Updates)
+	}
+	if rep.Queries != 2*len(tpch.QueryNumbers) {
+		t.Fatalf("reads: %d", rep.Queries)
+	}
+	if rep.UpdateElapsed <= 0 {
+		t.Error("update elapsed not recorded")
+	}
+}
+
+func TestRunMixedUpdateError(t *testing.T) {
+	s := &fakeSession{failOn: "bad"}
+	_, err := RunMixed(s, 1, 1, []string{"ok", "bad stmt"})
+	if err == nil || !strings.Contains(err.Error(), "update 1") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestQPMZeroElapsed(t *testing.T) {
+	var r StreamReport
+	if r.QPM() != 0 {
+		t.Error("zero elapsed should give 0 qpm")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var r StreamReport
+	if r.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Durations = append(r.Durations, time.Duration(i)*time.Millisecond)
+	}
+	if got := r.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Percentile(0.5); got != time.Millisecond {
+		t.Errorf("p0.5 = %v", got)
+	}
+}
