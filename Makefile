@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test tier1 vet race bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: static checks plus the full suite under the race
+# detector (chaos/resilience tests included).
+tier1: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -17,12 +17,15 @@
 package apuama
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"apuama/internal/cluster"
 	"apuama/internal/core"
 	"apuama/internal/costmodel"
 	"apuama/internal/engine"
+	"apuama/internal/fault"
 	"apuama/internal/tpch"
 )
 
@@ -31,6 +34,21 @@ type Result = engine.Result
 
 // Stats is the Apuama Engine's activity counters.
 type Stats = core.Stats
+
+// CtlStats is the controller's resilience counters (breaker trips,
+// probes, auto-recoveries, retries, failovers).
+type CtlStats = cluster.CtlStats
+
+// FaultInjector scripts deterministic faults for one node; attach with
+// Cluster.InjectFaults. See internal/fault for the taxonomy.
+type FaultInjector = fault.Injector
+
+// FaultStats is a fault injector's activity counters.
+type FaultStats = fault.Stats
+
+// NewFaultInjector returns an inert injector seeded for deterministic
+// latency jitter; configure it with its chainable methods.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
 
 // CostConfig is the simulated-hardware configuration (buffer-pool size,
 // IO / CPU / network latencies). See internal/costmodel for the fields
@@ -71,6 +89,31 @@ type Config struct {
 	PoolSize int
 	// Policy selects the controller's read balancing policy.
 	Policy cluster.Policy
+
+	// QueryTimeout is the per-query deadline applied when the caller's
+	// context has none (zero = no default deadline).
+	QueryTimeout time.Duration
+	// RetryLimit bounds in-place retries of transient failures per
+	// sub-query / request (default 3).
+	RetryLimit int
+	// RetryBackoff is the initial transient-retry backoff, doubled per
+	// attempt and capped at 10ms (default 100µs).
+	RetryBackoff time.Duration
+	// DisableHedging turns off speculative re-dispatch of straggling SVP
+	// sub-queries.
+	DisableHedging bool
+	// HedgeMultiplier × the median sub-query completion time is the
+	// straggler threshold for hedging (default 4).
+	HedgeMultiplier float64
+	// BreakerThreshold is the consecutive-transient-failure count that
+	// trips a backend's circuit breaker (default 3).
+	BreakerThreshold int
+	// ProbeInterval is the base interval of the breaker's half-open
+	// recovery probes (default 200µs, backing off to 20ms).
+	ProbeInterval time.Duration
+	// DisableAutoRecovery keeps tripped backends out of rotation until a
+	// manual RecoverNode (the original C-JDBC behaviour).
+	DisableAutoRecovery bool
 }
 
 // Cluster is a running database cluster: the single external view the
@@ -110,10 +153,27 @@ func Open(cfg Config) (*Cluster, error) {
 	if cfg.PoolSize > 0 {
 		opts.PoolSize = cfg.PoolSize
 	}
+	opts.QueryTimeout = cfg.QueryTimeout
+	opts.RetryLimit = cfg.RetryLimit
+	opts.RetryBackoff = cfg.RetryBackoff
+	opts.DisableHedging = cfg.DisableHedging
+	opts.HedgeMultiplier = cfg.HedgeMultiplier
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
-	ctl := cluster.New(db, eng.Backends(), cluster.Options{Policy: cfg.Policy, Cost: cost})
+	ctl := cluster.New(db, eng.Backends(), cluster.Options{
+		Policy:              cfg.Policy,
+		Cost:                cost,
+		BreakerThreshold:    cfg.BreakerThreshold,
+		RetryLimit:          cfg.RetryLimit,
+		RetryBackoff:        cfg.RetryBackoff,
+		ProbeInterval:       cfg.ProbeInterval,
+		DisableAutoRecovery: cfg.DisableAutoRecovery,
+	})
 	return &Cluster{cfg: cfg, db: db, nodes: nodes, eng: eng, ctl: ctl}, nil
 }
+
+// Close stops the cluster's background recovery probes. Queries keep
+// working, but tripped backends are no longer auto-recovered.
+func (c *Cluster) Close() { c.ctl.Close() }
 
 // LoadTPCH creates the TPC-H schema and deterministically populates it
 // at the given scale factor (the paper ran SF 5 on real hardware; see
@@ -130,14 +190,39 @@ func (c *Cluster) Query(sqlText string) (*Result, error) {
 	return c.ctl.Query(sqlText)
 }
 
+// QueryContext is Query bounded by the context's deadline: a wedged or
+// straggling cluster abandons the request once ctx is done.
+func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
+	return c.ctl.QueryContext(ctx, sqlText)
+}
+
 // Exec submits a write (totally ordered and broadcast to all replicas),
 // a DDL statement, or a SET.
 func (c *Cluster) Exec(sqlText string) (int64, error) {
 	return c.ctl.Exec(sqlText)
 }
 
+// ExecContext is Exec bounded by the context's deadline.
+func (c *Cluster) ExecContext(ctx context.Context, sqlText string) (int64, error) {
+	return c.ctl.ExecContext(ctx, sqlText)
+}
+
 // Stats returns the Apuama Engine's activity counters.
 func (c *Cluster) Stats() Stats { return c.eng.Snapshot() }
+
+// ControllerStats returns the controller's resilience counters.
+func (c *Cluster) ControllerStats() CtlStats { return c.ctl.Snapshot() }
+
+// InjectFaults attaches a fault injector to node i (nil detaches). The
+// injector scripts crashes, stragglers, flaky errors and delayed
+// recoveries deterministically; see internal/fault.
+func (c *Cluster) InjectFaults(i int, inj *FaultInjector) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("no node %d", i)
+	}
+	c.eng.Procs()[i].InjectFaults(inj)
+	return nil
+}
 
 // NumNodes returns the replica count.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }

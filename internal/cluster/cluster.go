@@ -10,9 +10,17 @@
 // nodes as a Backend implementation, adding intra-query parallelism
 // without changing this package (mirroring "no source code was changed
 // in C-JDBC").
+//
+// Beyond the baseline, the controller carries a resilience layer: each
+// backend sits behind a circuit breaker. A crash or a run of transient
+// failures trips the breaker open (the backend leaves rotation), a
+// background probe half-opens it, and a successful probe replays the
+// missed writes from the recovery log and re-admits the replica — no
+// manual Recover call required.
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,9 +33,16 @@ import (
 )
 
 // ErrBackendDown is returned by a Backend whose node is unreachable or
-// crashed. The controller reacts like C-JDBC: it disables the backend
-// and retries reads elsewhere; writes proceed on the surviving replicas.
+// crashed. The controller reacts like C-JDBC: it trips the backend's
+// breaker and retries reads elsewhere; writes proceed on the surviving
+// replicas.
 var ErrBackendDown = errors.New("backend down")
+
+// ErrTransient marks a failure that is expected to clear on its own (a
+// dropped connection, an overloaded node, an injected flaky fault).
+// Unlike ErrBackendDown it is retried in place with bounded exponential
+// backoff before the breaker gives up on the backend.
+var ErrTransient = errors.New("transient backend error")
 
 // Backend is one replica as seen by the controller: something that
 // executes reads, applies ordered writes and accepts session settings.
@@ -35,16 +50,31 @@ var ErrBackendDown = errors.New("backend down")
 // plain C-JDBC; to an Apuama Node Processor when Apuama is installed).
 type Backend interface {
 	ID() int
-	// Query executes a read-only statement.
-	Query(sqlText string) (*engine.Result, error)
+	// Query executes a read-only statement. The context carries the
+	// caller's per-query deadline; a wedged backend must return once it
+	// is cancelled.
+	Query(ctx context.Context, sqlText string) (*engine.Result, error)
 	// ApplyWrite applies write number writeID. Deliveries arrive in
 	// strictly increasing writeID order.
-	ApplyWrite(writeID int64, stmt sql.Statement) (int64, error)
+	ApplyWrite(ctx context.Context, writeID int64, stmt sql.Statement) (int64, error)
 	// Set applies a session setting on the backend.
 	Set(st *sql.SetStmt) error
 	// Watermark reports the last write the backend has applied (its
 	// replication position, used by recovery).
 	Watermark() int64
+	// Ping reports whether the backend is reachable; the breaker's
+	// half-open probe calls it before attempting recovery.
+	Ping(ctx context.Context) error
+}
+
+// Admittable is optionally implemented by backends that mirror the
+// controller's rotation decisions in a lower layer. The Apuama engine
+// uses it to keep a tripped backend out of the SVP fan-out and the
+// consistency barrier until its write log has been replayed: a
+// healed-but-stale replica in the barrier would stall queries on a
+// catch-up that may itself be queued behind a gated write.
+type Admittable interface {
+	SetAdmitted(ok bool)
 }
 
 // NodeBackend adapts an engine.Node directly (the plain C-JDBC setup).
@@ -56,12 +86,12 @@ type NodeBackend struct {
 func (nb *NodeBackend) ID() int { return nb.Node.ID() }
 
 // Query parses and runs a SELECT on the node.
-func (nb *NodeBackend) Query(sqlText string) (*engine.Result, error) {
+func (nb *NodeBackend) Query(_ context.Context, sqlText string) (*engine.Result, error) {
 	return nb.Node.Query(sqlText)
 }
 
 // ApplyWrite forwards an ordered write.
-func (nb *NodeBackend) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
+func (nb *NodeBackend) ApplyWrite(_ context.Context, writeID int64, stmt sql.Statement) (int64, error) {
 	return nb.Node.ApplyWrite(writeID, stmt)
 }
 
@@ -74,6 +104,9 @@ func (nb *NodeBackend) Set(st *sql.SetStmt) error {
 // Watermark reports the node's replication position.
 func (nb *NodeBackend) Watermark() int64 { return nb.Node.Watermark() }
 
+// Ping reports reachability; an in-process node is always reachable.
+func (nb *NodeBackend) Ping(context.Context) error { return nil }
+
 // Policy selects the read load-balancing policy.
 type Policy int
 
@@ -84,6 +117,16 @@ const (
 	RoundRobin
 )
 
+// Resilience defaults and caps.
+const (
+	defaultBreakerThreshold = 3
+	defaultRetryLimit       = 3
+	defaultRetryBackoff     = 100 * time.Microsecond
+	maxRetryBackoff         = 10 * time.Millisecond
+	defaultProbeInterval    = 200 * time.Microsecond
+	maxProbeInterval        = 20 * time.Millisecond
+)
+
 // Options configures a Controller.
 type Options struct {
 	// Policy is the read balancing policy (default LeastPending).
@@ -91,14 +134,48 @@ type Options struct {
 	// Cost is the network cost model used for middleware<->backend
 	// traffic (defaults to the database's configuration when zero).
 	Cost costmodel.Config
+	// BreakerThreshold is the number of consecutive transient failures
+	// (each already retried RetryLimit times in place) that trips a
+	// backend's circuit breaker (default 3). A crash trips immediately.
+	BreakerThreshold int
+	// RetryLimit bounds in-place retries of a transient failure before
+	// it counts against the breaker (default 3).
+	RetryLimit int
+	// RetryBackoff is the initial backoff between transient retries; it
+	// doubles per attempt, capped at 10ms (default 100µs).
+	RetryBackoff time.Duration
+	// ProbeInterval is the base interval between half-open recovery
+	// probes of a tripped backend; it backs off exponentially to 20ms
+	// while the backend stays unreachable (default 200µs).
+	ProbeInterval time.Duration
+	// DisableAutoRecovery turns off the breaker's probe/recover loop:
+	// tripped backends then stay out of rotation until a manual Recover,
+	// the original C-JDBC behaviour.
+	DisableAutoRecovery bool
 }
 
-// backendState wraps a Backend with scheduling bookkeeping.
+// CtlStats counts the controller's degraded-mode activity so chaos tests
+// can assert on behaviour instead of sleeping.
+type CtlStats struct {
+	BreakerTrips     int64 // backends taken out of rotation by the breaker
+	Probes           int64 // half-open reachability probes issued
+	AutoRecoveries   int64 // probe-triggered write-log replays that re-admitted a backend
+	TransientRetries int64 // in-place retries of transient failures (reads and writes)
+	ReadFailovers    int64 // reads re-routed to another backend after a failure
+}
+
+// backendState wraps a Backend with scheduling and breaker bookkeeping.
 type backendState struct {
-	b        Backend
-	pending  atomic.Int64
-	reads    atomic.Int64
+	b       Backend
+	pending atomic.Int64
+	reads   atomic.Int64
+	// disabled is the breaker: true = open (out of rotation).
 	disabled atomic.Bool
+	// transientFails counts consecutive exhausted transient failures;
+	// reaching BreakerThreshold trips the breaker.
+	transientFails atomic.Int64
+	// probing reports an active probe loop; guarded by Controller.probeMu.
+	probing bool
 }
 
 // Controller is the virtual database: the request manager, scheduler and
@@ -107,6 +184,7 @@ type Controller struct {
 	db       *engine.Database
 	backends []*backendState
 	policy   Policy
+	opts     Options
 	net      *costmodel.Meter
 
 	// writeMu is the Scheduler's total order: one replicated write at a
@@ -120,6 +198,21 @@ type Controller struct {
 	// writeLog retains every scheduled write so a crashed replica can be
 	// recovered by replay (guarded by writeMu).
 	writeLog []loggedWrite
+
+	// Probe lifecycle: ctx cancels probe loops on Close; probeMu guards
+	// backendState.probing and closed so a re-trip can never race a
+	// terminating probe loop into a permanently disabled backend.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	probeMu sync.Mutex
+	closed  bool
+
+	breakerTrips     atomic.Int64
+	probes           atomic.Int64
+	autoRecoveries   atomic.Int64
+	transientRetries atomic.Int64
+	readFailovers    atomic.Int64
 }
 
 // loggedWrite is one entry of the recovery log.
@@ -134,11 +227,39 @@ func New(db *engine.Database, backends []Backend, opts Options) *Controller {
 	if cfg.PageSize == 0 {
 		cfg = db.Config()
 	}
-	c := &Controller{db: db, policy: opts.Policy, net: costmodel.NewMeter(cfg)}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = defaultBreakerThreshold
+	}
+	if opts.RetryLimit <= 0 {
+		opts.RetryLimit = defaultRetryLimit
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBackoff
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = defaultProbeInterval
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Controller{
+		db: db, policy: opts.Policy, opts: opts,
+		net: costmodel.NewMeter(cfg),
+		ctx: ctx, cancel: cancel,
+	}
 	for _, b := range backends {
 		c.backends = append(c.backends, &backendState{b: b})
 	}
 	return c
+}
+
+// Close stops the controller's background probe loops. The controller
+// remains usable for queries, but tripped backends are no longer
+// auto-recovered.
+func (c *Controller) Close() {
+	c.probeMu.Lock()
+	c.closed = true
+	c.probeMu.Unlock()
+	c.cancel()
+	c.wg.Wait()
 }
 
 // NumBackends returns the replica count.
@@ -150,11 +271,29 @@ func (c *Controller) Backend(i int) Backend { return c.backends[i].b }
 // NetMeter exposes the middleware network meter.
 func (c *Controller) NetMeter() *costmodel.Meter { return c.net }
 
-// Query load-balances a read-only request to one backend. A backend
-// reporting ErrBackendDown is disabled and the request fails over to the
-// remaining replicas (C-JDBC's behaviour on a node crash); SQL errors
-// return to the client unretried.
+// Snapshot returns the controller's resilience counters.
+func (c *Controller) Snapshot() CtlStats {
+	return CtlStats{
+		BreakerTrips:     c.breakerTrips.Load(),
+		Probes:           c.probes.Load(),
+		AutoRecoveries:   c.autoRecoveries.Load(),
+		TransientRetries: c.transientRetries.Load(),
+		ReadFailovers:    c.readFailovers.Load(),
+	}
+}
+
+// Query load-balances a read-only request to one backend with no
+// deadline. See QueryContext.
 func (c *Controller) Query(sqlText string) (*engine.Result, error) {
+	return c.QueryContext(context.Background(), sqlText)
+}
+
+// QueryContext load-balances a read-only request to one backend. A
+// transient failure is retried in place with bounded exponential
+// backoff; a backend that stays broken trips its breaker and the request
+// fails over to the remaining replicas (C-JDBC's behaviour on a node
+// crash, plus the breaker). SQL errors return to the client unretried.
+func (c *Controller) QueryContext(ctx context.Context, sqlText string) (*engine.Result, error) {
 	if len(c.backends) == 0 {
 		return nil, fmt.Errorf("no backends")
 	}
@@ -164,23 +303,53 @@ func (c *Controller) Query(sqlText string) (*engine.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		bs.pending.Add(1)
-		bs.reads.Add(1)
-		c.net.Charge(cfg.NetMessage)
-		res, err := bs.b.Query(sqlText)
-		bs.pending.Add(-1)
+		res, err := c.queryBackend(ctx, bs, sqlText, cfg)
 		if errors.Is(err, ErrBackendDown) {
-			bs.disabled.Store(true)
+			c.trip(bs)
+			c.readFailovers.Add(1)
+			continue
+		}
+		if errors.Is(err, ErrTransient) {
+			// Retries exhausted: count against the breaker, go elsewhere.
+			if bs.transientFails.Add(1) >= int64(c.opts.BreakerThreshold) {
+				c.trip(bs)
+			}
+			c.readFailovers.Add(1)
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
+		bs.transientFails.Store(0)
 		c.net.Charge(time.Duration(len(res.Rows)) * cfg.NetPerRow)
 		c.net.Flush()
 		return res, nil
 	}
 	return nil, fmt.Errorf("query failed over on every backend: %w", ErrBackendDown)
+}
+
+// queryBackend runs one read on one backend, retrying transient failures
+// in place with capped exponential backoff.
+func (c *Controller) queryBackend(ctx context.Context, bs *backendState, sqlText string, cfg costmodel.Config) (*engine.Result, error) {
+	backoff := c.opts.RetryBackoff
+	for try := 0; ; try++ {
+		bs.pending.Add(1)
+		bs.reads.Add(1)
+		c.net.Charge(cfg.NetMessage)
+		res, err := bs.b.Query(ctx, sqlText)
+		bs.pending.Add(-1)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrTransient) || try >= c.opts.RetryLimit {
+			return nil, err
+		}
+		c.transientRetries.Add(1)
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return nil, serr
+		}
+		backoff = capDuration(backoff*2, maxRetryBackoff)
+	}
 }
 
 // pick applies the configured balancing policy over enabled backends.
@@ -210,16 +379,92 @@ func (c *Controller) pick() (*backendState, error) {
 	return nil, fmt.Errorf("all backends are disabled: %w", ErrBackendDown)
 }
 
+// trip opens a backend's circuit breaker: the backend leaves rotation
+// and, unless auto-recovery is disabled, a background probe loop starts
+// working to bring it back.
+func (c *Controller) trip(bs *backendState) {
+	if bs.disabled.CompareAndSwap(false, true) {
+		c.breakerTrips.Add(1)
+	}
+	if a, ok := bs.b.(Admittable); ok {
+		a.SetAdmitted(false)
+	}
+	c.startProbe(bs)
+}
+
+// startProbe launches the half-open probe loop for a tripped backend if
+// one is not already running.
+func (c *Controller) startProbe(bs *backendState) {
+	if c.opts.DisableAutoRecovery {
+		return
+	}
+	c.probeMu.Lock()
+	defer c.probeMu.Unlock()
+	if bs.probing || c.closed {
+		return
+	}
+	bs.probing = true
+	c.wg.Add(1)
+	go c.probeLoop(bs)
+}
+
+// probeLoop periodically probes a tripped backend (the breaker's
+// half-open state). A successful probe triggers a write-log replay and
+// re-admission. The loop exits only when it observes the breaker closed
+// while holding probeMu, so a concurrent re-trip can never be left
+// without a probe.
+func (c *Controller) probeLoop(bs *backendState) {
+	defer c.wg.Done()
+	interval := c.opts.ProbeInterval
+	for {
+		select {
+		case <-c.ctx.Done():
+			c.probeMu.Lock()
+			bs.probing = false
+			c.probeMu.Unlock()
+			return
+		case <-time.After(interval):
+		}
+		c.probes.Add(1)
+		if err := bs.b.Ping(c.ctx); err != nil {
+			interval = capDuration(interval*2, maxProbeInterval)
+			continue
+		}
+		// Half-open probe succeeded: replay missed writes, re-admit.
+		if err := c.recoverState(bs); err != nil {
+			interval = capDuration(interval*2, maxProbeInterval)
+			continue
+		}
+		c.autoRecoveries.Add(1)
+		c.probeMu.Lock()
+		if !bs.disabled.Load() {
+			bs.probing = false
+			c.probeMu.Unlock()
+			return
+		}
+		// Re-tripped while recovering: keep probing.
+		c.probeMu.Unlock()
+		interval = c.opts.ProbeInterval
+	}
+}
+
 // Recover replays the writes a disabled backend missed (from the
 // controller's write log) and puts it back into rotation. New writes are
 // held for the duration, so the replica rejoins exactly caught up.
 // The backend itself must be reachable again (e.g. the node process
-// restarted) before calling Recover.
+// restarted) before calling Recover. The breaker's auto-recovery calls
+// the same replay path; Recover remains for operator-driven repair.
 func (c *Controller) Recover(i int) error {
 	if i < 0 || i >= len(c.backends) {
 		return fmt.Errorf("no backend %d", i)
 	}
-	bs := c.backends[i]
+	return c.recoverState(c.backends[i])
+}
+
+// recoverState replays missed writes to one backend and closes its
+// breaker. Holding writeMu stalls new writes, so the replica rejoins
+// exactly caught up.
+func (c *Controller) recoverState(bs *backendState) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	wm := bs.b.Watermark()
@@ -227,11 +472,15 @@ func (c *Controller) Recover(i int) error {
 		if lw.id <= wm {
 			continue
 		}
-		if _, err := bs.b.ApplyWrite(lw.id, lw.stmt); err != nil {
-			return fmt.Errorf("recovery of backend %d at write %d: %w", i, lw.id, err)
+		if _, err := bs.b.ApplyWrite(c.ctx, lw.id, lw.stmt); err != nil {
+			return fmt.Errorf("recovery of backend %d at write %d: %w", bs.b.ID(), lw.id, err)
 		}
 	}
+	bs.transientFails.Store(0)
 	bs.disabled.Store(false)
+	if a, ok := bs.b.(Admittable); ok {
+		a.SetAdmitted(true)
+	}
 	return nil
 }
 
@@ -242,7 +491,7 @@ func (c *Controller) WriteLogLen() int {
 	return len(c.writeLog)
 }
 
-// DisabledBackends lists backends taken out of rotation after failures.
+// DisabledBackends lists backends whose breaker is currently open.
 func (c *Controller) DisabledBackends() []int {
 	var out []int
 	for i, bs := range c.backends {
@@ -253,10 +502,15 @@ func (c *Controller) DisabledBackends() []int {
 	return out
 }
 
-// Exec routes a statement: SELECT is rejected (use Query), writes are
-// scheduled and broadcast, DDL mutates the shared catalog, SET is
-// broadcast to all backends.
+// Exec routes a statement with no deadline. See ExecContext.
 func (c *Controller) Exec(sqlText string) (int64, error) {
+	return c.ExecContext(context.Background(), sqlText)
+}
+
+// ExecContext routes a statement: SELECT is rejected (use Query), writes
+// are scheduled and broadcast, DDL mutates the shared catalog, SET is
+// broadcast to all backends.
+func (c *Controller) ExecContext(ctx context.Context, sqlText string) (int64, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
 		return 0, err
@@ -277,15 +531,23 @@ func (c *Controller) Exec(sqlText string) (int64, error) {
 		}
 		return 0, nil
 	default:
-		return c.ExecWrite(stmt)
+		return c.ExecWriteContext(ctx, stmt)
 	}
 }
 
-// ExecWrite schedules a parsed write statement: it takes the next slot in
-// the total order and synchronously delivers it to every backend (the
-// replicas apply concurrently; the write completes when all have
-// acknowledged, like C-JDBC's RAIDb-1 broadcast).
+// ExecWrite schedules a parsed write statement with no deadline.
 func (c *Controller) ExecWrite(stmt sql.Statement) (int64, error) {
+	return c.ExecWriteContext(context.Background(), stmt)
+}
+
+// ExecWriteContext schedules a parsed write statement: it takes the next
+// slot in the total order and synchronously delivers it to every backend
+// (the replicas apply concurrently; the write completes when all have
+// acknowledged, like C-JDBC's RAIDb-1 broadcast). A replica that fails
+// the delivery — crash, or transient errors beyond the retry budget —
+// trips its breaker and leaves the set; the write commits on survivors
+// and recovery replays it later.
+func (c *Controller) ExecWriteContext(ctx context.Context, stmt sql.Statement) (int64, error) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	id := c.writeSeq.Add(1)
@@ -313,8 +575,21 @@ func (c *Controller) ExecWrite(stmt sql.Statement) (int64, error) {
 	replies := make(chan reply, len(live))
 	for _, bs := range live {
 		go func(bs *backendState) {
-			n, err := bs.b.ApplyWrite(id, stmt)
-			replies <- reply{bs: bs, n: n, err: err}
+			backoff := c.opts.RetryBackoff
+			for try := 0; ; try++ {
+				n, err := bs.b.ApplyWrite(ctx, id, stmt)
+				if errors.Is(err, ErrTransient) && try < c.opts.RetryLimit {
+					c.transientRetries.Add(1)
+					if serr := sleepCtx(ctx, backoff); serr != nil {
+						replies <- reply{bs: bs, err: serr}
+						return
+					}
+					backoff = capDuration(backoff*2, maxRetryBackoff)
+					continue
+				}
+				replies <- reply{bs: bs, n: n, err: err}
+				return
+			}
 		}(bs)
 	}
 	c.net.Flush()
@@ -323,16 +598,18 @@ func (c *Controller) ExecWrite(stmt sql.Statement) (int64, error) {
 	applied := 0
 	for range live {
 		r := <-replies
-		if errors.Is(r.err, ErrBackendDown) {
+		if errors.Is(r.err, ErrBackendDown) || errors.Is(r.err, ErrTransient) {
 			// Drop the replica and let the write commit on survivors
 			// (RAIDb-1 semantics: a crashed replica leaves the set).
-			r.bs.disabled.Store(true)
+			// The breaker's probe will replay this write from the log.
+			c.trip(r.bs)
 			continue
 		}
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
 		}
 		if r.err == nil {
+			r.bs.transientFails.Store(0)
 			applied++
 			affected = r.n
 		}
@@ -353,4 +630,26 @@ func (c *Controller) Stats() []int64 {
 		out[i] = bs.reads.Load()
 	}
 	return out
+}
+
+// sleepCtx sleeps for d unless the context is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func capDuration(d, max time.Duration) time.Duration {
+	if d > max {
+		return max
+	}
+	return d
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -142,16 +143,19 @@ type blockingBackend struct {
 }
 
 func (b *blockingBackend) ID() int { return b.id }
-func (b *blockingBackend) Query(string) (*engine.Result, error) {
+func (b *blockingBackend) Query(context.Context, string) (*engine.Result, error) {
 	b.mu.Lock()
 	b.served++
 	b.mu.Unlock()
 	<-b.release
 	return &engine.Result{}, nil
 }
-func (b *blockingBackend) ApplyWrite(int64, sql.Statement) (int64, error) { return 0, nil }
-func (b *blockingBackend) Set(*sql.SetStmt) error                         { return nil }
-func (b *blockingBackend) Watermark() int64                               { return 0 }
+func (b *blockingBackend) ApplyWrite(context.Context, int64, sql.Statement) (int64, error) {
+	return 0, nil
+}
+func (b *blockingBackend) Set(*sql.SetStmt) error     { return nil }
+func (b *blockingBackend) Watermark() int64           { return 0 }
+func (b *blockingBackend) Ping(context.Context) error { return nil }
 
 func TestLeastPendingUnderConcurrency(t *testing.T) {
 	db := engine.NewDatabase(costmodel.TestConfig())
@@ -302,18 +306,25 @@ func (d *downableBackend) isDown() bool {
 	return d.down
 }
 
-func (d *downableBackend) Query(q string) (*engine.Result, error) {
+func (d *downableBackend) Query(ctx context.Context, q string) (*engine.Result, error) {
 	if d.isDown() {
 		return nil, ErrBackendDown
 	}
-	return d.NodeBackend.Query(q)
+	return d.NodeBackend.Query(ctx, q)
 }
 
-func (d *downableBackend) ApplyWrite(id int64, st sql.Statement) (int64, error) {
+func (d *downableBackend) ApplyWrite(ctx context.Context, id int64, st sql.Statement) (int64, error) {
 	if d.isDown() {
 		return 0, ErrBackendDown
 	}
-	return d.NodeBackend.ApplyWrite(id, st)
+	return d.NodeBackend.ApplyWrite(ctx, id, st)
+}
+
+func (d *downableBackend) Ping(context.Context) error {
+	if d.isDown() {
+		return ErrBackendDown
+	}
+	return nil
 }
 
 func TestControllerRecovery(t *testing.T) {

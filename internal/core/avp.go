@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -39,7 +40,7 @@ const avpInitialFraction = 64
 // a global queue is AVP's dynamic load balancing — a node stuck in a
 // data-skew hotspot takes fewer keys while idle nodes absorb the rest —
 // at the cost of many more, smaller sub-queries than SVP issues.
-func (e *Engine) runAVP(procs []*NodeProcessor, rw *Rewrite, snapshot int64, lo, hi int64) (*engine.Result, error) {
+func (e *Engine) runAVP(ctx context.Context, procs []*NodeProcessor, rw *Rewrite, snapshot int64, lo, hi int64) (*engine.Result, error) {
 	n := len(procs)
 	var (
 		mu       sync.Mutex
@@ -75,7 +76,7 @@ func (e *Engine) runAVP(procs []*NodeProcessor, rw *Rewrite, snapshot int64, lo,
 				sub := rw.chunkQuery(v1, v2)
 				p.Node().Meter().Charge(cfg.NetMessage)
 				start := time.Now()
-				res, err := p.QueryAt(sub, snapshot, e.opts.ForceIndexScan)
+				res, err := p.QueryAt(ctx, sub, snapshot, e.opts.ForceIndexScan)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -63,11 +64,33 @@ func (b *blocker) unblock() {
 	b.mu.Unlock()
 }
 
+// pollWait sleeps the current convergence-poll interval, honouring the
+// context, and returns the next interval: doubled, capped at
+// waitSpinMax. Convergence loops thus back off instead of busy-spinning
+// at a fixed 50µs, and abandon the wait as soon as the query's deadline
+// fires.
+func pollWait(ctx context.Context, d time.Duration) (time.Duration, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return d, ctx.Err()
+	}
+	next := d * 2
+	if next > waitSpinMax {
+		next = waitSpinMax
+	}
+	return next, nil
+}
+
 // awaitConsistent waits (gate closed) until every node's transaction
 // counter is equal, returning the common value — the snapshot all SVP
-// sub-queries will read at.
-func (b *blocker) awaitConsistent(procs []*NodeProcessor, timeout time.Duration) (int64, error) {
+// sub-queries will read at. The wait is bounded by both the barrier
+// timeout and the query's context deadline, whichever fires first.
+func (b *blocker) awaitConsistent(ctx context.Context, procs []*NodeProcessor, timeout time.Duration) (int64, error) {
 	deadline := time.Now().Add(timeout)
+	spin := waitSpin
 	for {
 		w0 := procs[0].TxnCounter()
 		equal := true
@@ -83,6 +106,13 @@ func (b *blocker) awaitConsistent(procs []*NodeProcessor, timeout time.Duration)
 		if time.Now().After(deadline) {
 			return 0, fmt.Errorf("replicas did not converge within %v", timeout)
 		}
-		time.Sleep(waitSpin)
+		var err error
+		if spin, err = pollWait(ctx, spin); err != nil {
+			counters := make([]int64, len(procs))
+			for i, p := range procs {
+				counters[i] = p.TxnCounter()
+			}
+			return 0, fmt.Errorf("replica convergence abandoned (counters %v): %w", counters, err)
+		}
 	}
 }

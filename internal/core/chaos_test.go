@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -49,7 +50,7 @@ func TestChaosKillReviveUnderLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				res, err := s.eng.RunSVP(mustSel(t, "select count(*) from lineitem"))
+				res, err := s.eng.RunSVP(context.Background(), mustSel(t, "select count(*) from lineitem"))
 				mu.Lock()
 				if err != nil {
 					failedReads++
@@ -119,7 +120,7 @@ func TestTPCHUnderChaosSample(t *testing.T) {
 		} else {
 			p.Revive()
 		}
-		got, err := s.eng.RunSVP(mustSel(t, tpch.MustQuery(6)))
+		got, err := s.eng.RunSVP(context.Background(), mustSel(t, tpch.MustQuery(6)))
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

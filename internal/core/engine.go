@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,12 +64,39 @@ type Options struct {
 	// streaming merger instead of the memdb (HSQLDB-equivalent) route —
 	// an ablation of the paper's composer choice.
 	StreamCompose bool
+
+	// QueryTimeout is the per-query deadline applied by RunSVP when the
+	// caller's context carries none. Zero disables the default deadline.
+	QueryTimeout time.Duration
+	// RetryLimit bounds in-place retries of a transiently failing
+	// sub-query before failing over to another node (default 3).
+	RetryLimit int
+	// RetryBackoff is the initial retry backoff, doubled per attempt and
+	// capped (default 100µs, cap 10ms).
+	RetryBackoff time.Duration
+	// HedgeMultiplier × the median sub-query completion time is the
+	// straggler threshold after which pending partitions are hedged on
+	// another live node (default 4; first answer per partition wins).
+	HedgeMultiplier float64
+	// DisableHedging turns speculative re-dispatch off.
+	DisableHedging bool
 }
 
 // DefaultOptions mirrors the paper's configuration.
 func DefaultOptions() Options {
 	return Options{ForceIndexScan: true, PoolSize: 8, BarrierTimeout: 30 * time.Second}
 }
+
+// Resilience defaults (see DESIGN.md "Failure handling").
+const (
+	defaultRetryLimit      = 3
+	defaultRetryBackoff    = 100 * time.Microsecond
+	maxRetryBackoff        = 10 * time.Millisecond
+	defaultHedgeMultiplier = 4.0
+	// minHedgeDelay floors the straggler threshold so sub-millisecond
+	// in-process queries never trigger spurious hedges.
+	minHedgeDelay = 10 * time.Millisecond
+)
 
 // Engine is the Apuama Engine: the Cluster Administrator of Fig. 1(b).
 // Install it between a cluster.Controller and the node engines by using
@@ -95,8 +124,15 @@ type Stats struct {
 	StaleReads           int64 // freshness-mode queries that read behind the head
 	MaxObservedStaleness int64
 	SubQueryRetries      int64 // partitions re-dispatched after a node crash
+	BackoffRetries       int64 // in-place retries of transient sub-query failures
+	Hedges               int64 // speculative duplicate sub-queries dispatched
+	HedgesWon            int64 // hedges that answered before the original
+	HedgesLost           int64 // hedges beaten by the original
+	DeadlineAborts       int64 // SVP queries abandoned at their deadline
 	BarrierWaits         time.Duration
-	FallbackReasons      map[string]int64
+	// FallbackReasons buckets SVP-ineligible queries by stable reason
+	// class (see FallbackClass), keeping cardinality bounded.
+	FallbackReasons map[string]int64
 }
 
 // New builds an Apuama Engine over the given nodes.
@@ -106,6 +142,15 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 	}
 	if opts.BarrierTimeout == 0 {
 		opts.BarrierTimeout = DefaultOptions().BarrierTimeout
+	}
+	if opts.RetryLimit == 0 {
+		opts.RetryLimit = defaultRetryLimit
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = defaultRetryBackoff
+	}
+	if opts.HedgeMultiplier == 0 {
+		opts.HedgeMultiplier = defaultHedgeMultiplier
 	}
 	e := &Engine{
 		db:      db,
@@ -161,14 +206,14 @@ func (bp *backendProxy) ID() int { return bp.proc.node.ID() }
 // Query intercepts OLAP queries: eligible ones run with intra-query
 // parallelism across every node; everything else passes straight through
 // to this backend's node, untouched (OLTP is C-JDBC's business).
-func (bp *backendProxy) Query(sqlText string) (*engine.Result, error) {
+func (bp *backendProxy) Query(ctx context.Context, sqlText string) (*engine.Result, error) {
 	if !bp.eng.opts.DisableSVP {
 		stmt, err := sql.Parse(sqlText)
 		if err != nil {
 			return nil, err
 		}
 		if sel, ok := stmt.(*sql.SelectStmt); ok {
-			res, err := bp.eng.RunSVP(sel)
+			res, err := bp.eng.RunSVP(ctx, sel)
 			if err == nil {
 				return res, nil
 			}
@@ -179,20 +224,30 @@ func (bp *backendProxy) Query(sqlText string) (*engine.Result, error) {
 		}
 	}
 	bp.eng.bump(func(s *Stats) { s.PassThrough++ })
-	return bp.proc.Query(sqlText)
+	return bp.proc.Query(ctx, sqlText)
 }
 
 // ApplyWrite holds the write at the consistency gate, then forwards it.
 // In the relaxed-freshness modes updates are never blocked — the
 // trade-off the paper's conclusion proposes to explore.
-func (bp *backendProxy) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
+func (bp *backendProxy) ApplyWrite(ctx context.Context, writeID int64, stmt sql.Statement) (int64, error) {
 	if !bp.eng.opts.NoBarrier && bp.eng.opts.MaxStaleness <= 0 {
 		if bp.eng.gate.admitWrite(writeID) {
 			bp.eng.bump(func(s *Stats) { s.BlockedWrites++ })
 		}
 	}
-	return bp.proc.ApplyWrite(writeID, stmt)
+	return bp.proc.ApplyWrite(ctx, writeID, stmt)
 }
+
+// Ping probes the node for the controller's recovery loop.
+func (bp *backendProxy) Ping(ctx context.Context) error {
+	return bp.proc.Ping(ctx)
+}
+
+// SetAdmitted propagates the controller's breaker state down to the
+// node processor, so a tripped backend drops out of the SVP fan-out and
+// the consistency barrier until its write log has been replayed.
+func (bp *backendProxy) SetAdmitted(ok bool) { bp.proc.SetAdmitted(ok) }
 
 // Set forwards session settings to the node.
 func (bp *backendProxy) Set(st *sql.SetStmt) error {
@@ -210,22 +265,45 @@ func (e *Engine) bump(f func(*Stats)) {
 }
 
 func (e *Engine) countFallback(err error) {
-	msg := err.Error()
-	e.bump(func(s *Stats) { s.FallbackReasons[msg]++ })
+	class := FallbackClass(err)
+	e.bump(func(s *Stats) { s.FallbackReasons[class]++ })
+}
+
+// partial is one sub-query attempt's outcome reaching the gather loop.
+type partial struct {
+	idx   int
+	res   *engine.Result
+	err   error
+	hedge bool
 }
 
 // RunSVP executes one query with Simple Virtual Partitioning: plan the
 // rewrite, run the consistency barrier, dispatch one sub-query per node
 // pinned to the common snapshot, and compose the partial results.
 // ErrNotEligible means the caller should fall back to pass-through.
-func (e *Engine) RunSVP(sel *sql.SelectStmt) (*engine.Result, error) {
+//
+// Resilience (beyond the paper): the query runs under ctx, bounded by
+// Options.QueryTimeout when ctx has no deadline of its own; transient
+// sub-query failures retry in place with capped exponential backoff;
+// a crashed node's partition fails over across the remaining live
+// nodes; and stragglers past HedgeMultiplier × the median completion
+// time are hedged on the least-loaded live node, first answer winning
+// (safe because every attempt reads the same pinned MVCC snapshot).
+func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Result, error) {
+	if e.opts.QueryTimeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, e.opts.QueryTimeout)
+			defer cancel()
+		}
+	}
 	rw, err := PlanSVP(sel, e.catalog)
 	if err != nil {
 		return nil, err
 	}
 	lo, hi, err := e.catalog.KeyDomain(e.db, rw.Table)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotEligible, err)
+		return nil, notEligible(ReasonKeyDomain, "%v", err)
 	}
 	// A crashed node drops out of the fan-out: the survivors cover the
 	// whole key domain with fewer, larger partitions (degraded
@@ -247,13 +325,13 @@ func (e *Engine) RunSVP(sel *sql.SelectStmt) (*engine.Result, error) {
 	case e.opts.NoBarrier:
 		snapshot = minWatermark(procs)
 	case e.opts.MaxStaleness > 0:
-		snapshot, err = e.awaitFreshness(procs, e.opts.MaxStaleness)
+		snapshot, err = e.awaitFreshness(ctx, procs, e.opts.MaxStaleness)
 		if err != nil {
 			return nil, err
 		}
 	default:
 		e.gate.block()
-		snapshot, err = e.gate.awaitConsistent(procs, e.opts.BarrierTimeout)
+		snapshot, err = e.gate.awaitConsistent(ctx, procs, e.opts.BarrierTimeout)
 		if err != nil {
 			e.gate.unblock()
 			return nil, err
@@ -271,29 +349,63 @@ func (e *Engine) RunSVP(sel *sql.SelectStmt) (*engine.Result, error) {
 			s.SVPQueries++
 			s.BarrierWaits += time.Since(start)
 		})
-		return e.runAVP(procs, rw, snapshot, lo, hi)
+		return e.runAVP(ctx, procs, rw, snapshot, lo, hi)
 	}
 
-	type partial struct {
-		idx int
-		res *engine.Result
-		err error
-	}
-	results := make(chan partial, n)
+	// Each worker owns one partition and sends exactly one partial: it
+	// retries transient errors in place and fails over a dead node's
+	// partition to the next untried live node internally. Hedges add at
+	// most one extra worker per partition, so 2n bounds the sends; the
+	// buffer lets late losers exit without a reader.
+	results := make(chan partial, 4*n)
 	cfg := e.net.Config()
-	dispatch := func(p *NodeProcessor, idx int, sub *sql.SelectStmt) {
+	dispatch := func(p *NodeProcessor, idx int, sub *sql.SelectStmt, hedge bool) {
 		go func() {
-			// Dispatch messages travel in parallel; charge each node's
-			// own meter with the middleware->node round trip.
-			p.Node().Meter().Charge(cfg.NetMessage)
-			res, err := p.QueryAt(sub, snapshot, e.opts.ForceIndexScan)
-			results <- partial{idx: idx, res: res, err: err}
+			tried := map[*NodeProcessor]bool{p: true}
+			backoff := e.opts.RetryBackoff
+			retries := 0
+			for {
+				// Dispatch messages travel in parallel; charge each
+				// node's own meter with the middleware->node round trip.
+				p.Node().Meter().Charge(cfg.NetMessage)
+				res, qerr := p.QueryAt(ctx, sub, snapshot, e.opts.ForceIndexScan)
+				if qerr == nil {
+					results <- partial{idx: idx, res: res, hedge: hedge}
+					return
+				}
+				if errors.Is(qerr, cluster.ErrTransient) && retries < e.opts.RetryLimit {
+					retries++
+					e.bump(func(s *Stats) { s.BackoffRetries++ })
+					if sleepCtx(ctx, backoff) != nil {
+						results <- partial{idx: idx, err: ctx.Err(), hedge: hedge}
+						return
+					}
+					backoff = capDur(backoff*2, maxRetryBackoff)
+					continue
+				}
+				if errors.Is(qerr, cluster.ErrBackendDown) || errors.Is(qerr, cluster.ErrTransient) {
+					if alt := e.pickLiveUntried(tried); alt != nil {
+						tried[alt] = true
+						p = alt
+						retries = 0
+						backoff = e.opts.RetryBackoff
+						e.bump(func(s *Stats) {
+							s.SubQueries++
+							s.SubQueryRetries++
+						})
+						continue
+					}
+					qerr = fmt.Errorf("no live node left for partition %d: %w", idx, qerr)
+				}
+				results <- partial{idx: idx, err: qerr, hedge: hedge}
+				return
+			}
 		}()
 	}
 	subs := make([]*sql.SelectStmt, n)
 	for i, p := range procs {
 		subs[i] = rw.SubQuery(i, n, lo, hi)
-		dispatch(p, i, subs[i])
+		dispatch(p, i, subs[i], false)
 	}
 	// "When all sub-queries are sent and started by the DBMSs, update
 	// transactions are unblocked."
@@ -306,37 +418,112 @@ func (e *Engine) RunSVP(sel *sql.SelectStmt) (*engine.Result, error) {
 		s.BarrierWaits += time.Since(start)
 	})
 
-	// Gather with intra-query failover (an extension beyond the paper):
-	// a sub-query lost to a node crash is retried once on the next live
-	// node — MVCC snapshots make the retry read the same state.
+	// Gather with straggler hedging: once a majority of partitions has
+	// answered, pending partitions past HedgeMultiplier × the median
+	// completion time are speculatively re-dispatched on the least-loaded
+	// live node; the first answer per partition wins.
+	// Partials are composed in partition order, not arrival order:
+	// floating-point aggregates are not associative, so arrival-order
+	// composition would make the answer depend on which replica was
+	// slow or hedged.
 	var rows int64
-	var partials []*engine.Result
+	partials := make([]*engine.Result, n)
 	var firstErr error
-	retried := make([]bool, n)
-	for outstanding := n; outstanding > 0; outstanding-- {
-		pr := <-results
-		if pr.err != nil {
-			if errors.Is(pr.err, cluster.ErrBackendDown) && !retried[pr.idx] {
-				if alt := e.pickLiveExcept(procs[pr.idx]); alt != nil {
-					retried[pr.idx] = true
-					dispatch(alt, pr.idx, subs[pr.idx])
-					outstanding++ // the retry will report back
-					e.bump(func(s *Stats) {
-						s.SubQueries++
-						s.SubQueryRetries++
-					})
+	done := make([]bool, n)
+	hedged := make([]bool, n)
+	inflight := make([]int, n)
+	for i := range inflight {
+		inflight[i] = 1
+	}
+	var completions []time.Duration
+	completed := 0
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	stopHedge := func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+			hedgeTimer = nil
+			hedgeC = nil
+		}
+	}
+	defer stopHedge()
+	// Exit as soon as every partition has an answer: a hedge win must not
+	// wait for the straggling twin, which drains into the buffered channel
+	// on its own time (and is released early by the deferred cancel when a
+	// QueryTimeout is set).
+	for outstanding := n; completed < n && outstanding > 0; {
+		select {
+		case pr := <-results:
+			outstanding--
+			inflight[pr.idx]--
+			if done[pr.idx] {
+				// A duplicate answer for a hedged partition: the earlier
+				// arrival already won this race.
+				continue
+			}
+			if pr.err != nil {
+				if inflight[pr.idx] > 0 {
+					continue // a twin attempt is still running
+				}
+				if firstErr == nil {
+					firstErr = pr.err
+				}
+				continue
+			}
+			done[pr.idx] = true
+			if hedged[pr.idx] {
+				e.bump(func(s *Stats) {
+					if pr.hedge {
+						s.HedgesWon++
+					} else {
+						s.HedgesLost++
+					}
+				})
+			}
+			completed++
+			completions = append(completions, time.Since(start))
+			rows += int64(len(pr.res.Rows))
+			partials[pr.idx] = pr.res
+			if !e.opts.DisableHedging && hedgeTimer == nil && completed >= (n+1)/2 && completed < n {
+				threshold := hedgeThreshold(completions, e.opts.HedgeMultiplier)
+				hedgeTimer = time.NewTimer(time.Until(start.Add(threshold)))
+				hedgeC = hedgeTimer.C
+			}
+		case <-hedgeC:
+			hedgeTimer = nil
+			hedgeC = nil
+			for i := 0; i < n; i++ {
+				if done[i] || hedged[i] {
 					continue
 				}
+				alt := e.pickLeastLoadedExcept(procs[i])
+				if alt == nil {
+					continue
+				}
+				hedged[i] = true
+				inflight[i]++
+				outstanding++
+				e.bump(func(s *Stats) {
+					s.Hedges++
+					s.SubQueries++
+				})
+				dispatch(alt, i, subs[i], true)
 			}
-			if firstErr == nil {
-				firstErr = pr.err
-			}
-			continue
+		case <-ctx.Done():
+			// Abandon the gather: workers notice ctx themselves and
+			// drain into the buffered channel.
+			e.bump(func(s *Stats) { s.DeadlineAborts++ })
+			return nil, fmt.Errorf("query abandoned at deadline: %w", ctx.Err())
 		}
-		rows += int64(len(pr.res.Rows))
-		partials = append(partials, pr.res)
 	}
-	if firstErr != nil {
+	if completed < n {
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+		if errors.Is(firstErr, context.DeadlineExceeded) || errors.Is(firstErr, context.Canceled) {
+			e.bump(func(s *Stats) { s.DeadlineAborts++ })
+			return nil, fmt.Errorf("query abandoned at deadline: %w", firstErr)
+		}
 		return nil, fmt.Errorf("sub-query failed: %w", firstErr)
 	}
 	e.net.Charge(time.Duration(rows) * cfg.NetPerRow)
@@ -347,6 +534,20 @@ func (e *Engine) RunSVP(sel *sql.SelectStmt) (*engine.Result, error) {
 		return e.composeStreaming(rw, partials)
 	}
 	return e.composeMemDB(rw, partials)
+}
+
+// hedgeThreshold computes the straggler cutoff (measured from query
+// start): HedgeMultiplier × the median completion time so far, floored
+// at minHedgeDelay.
+func hedgeThreshold(completions []time.Duration, mult float64) time.Duration {
+	sorted := append([]time.Duration(nil), completions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	th := time.Duration(mult * float64(median))
+	if th < minHedgeDelay {
+		th = minHedgeDelay
+	}
+	return th
 }
 
 // composeMemDB is the paper's route: load every partial row into the
@@ -361,9 +562,11 @@ func (e *Engine) composeMemDB(rw *Rewrite, partials []*engine.Result) (*engine.R
 
 // awaitFreshness waits until replica divergence is within the staleness
 // bound and returns the lagging replica's watermark as the query
-// snapshot. Updates keep flowing the whole time.
-func (e *Engine) awaitFreshness(procs []*NodeProcessor, bound int64) (int64, error) {
+// snapshot. Updates keep flowing the whole time; the wait polls with
+// capped exponential backoff and honours the query's deadline.
+func (e *Engine) awaitFreshness(ctx context.Context, procs []*NodeProcessor, bound int64) (int64, error) {
 	deadline := time.Now().Add(e.opts.BarrierTimeout)
+	spin := waitSpin
 	for {
 		lo, hi := procs[0].TxnCounter(), procs[0].TxnCounter()
 		for _, p := range procs[1:] {
@@ -389,7 +592,10 @@ func (e *Engine) awaitFreshness(procs []*NodeProcessor, bound int64) (int64, err
 		if time.Now().After(deadline) {
 			return 0, fmt.Errorf("replica divergence %d exceeded staleness bound %d for %v", hi-lo, bound, e.opts.BarrierTimeout)
 		}
-		time.Sleep(waitSpin)
+		var err error
+		if spin, err = pollWait(ctx, spin); err != nil {
+			return 0, fmt.Errorf("freshness wait abandoned: %w", err)
+		}
 	}
 }
 
@@ -403,8 +609,37 @@ func minWatermark(procs []*NodeProcessor) int64 {
 	return m
 }
 
-// pickLiveExcept returns a live node other than the failed one (the
-// least-loaded would be better; any live node preserves correctness).
+// sleepCtx sleeps d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func capDur(d, max time.Duration) time.Duration {
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// pickLiveUntried returns a live node not yet tried for this partition,
+// or nil when every live node has been exhausted.
+func (e *Engine) pickLiveUntried(tried map[*NodeProcessor]bool) *NodeProcessor {
+	for _, p := range e.procs {
+		if !tried[p] && !p.Down() {
+			return p
+		}
+	}
+	return nil
+}
+
+// pickLiveExcept returns a live node other than the failed one.
 func (e *Engine) pickLiveExcept(failed *NodeProcessor) *NodeProcessor {
 	for _, p := range e.procs {
 		if p != failed && !p.Down() {
@@ -412,6 +647,22 @@ func (e *Engine) pickLiveExcept(failed *NodeProcessor) *NodeProcessor {
 		}
 	}
 	return nil
+}
+
+// pickLeastLoadedExcept returns the live node (other than the excluded
+// one) with the fewest statements in flight — the hedging dispatcher's
+// target choice.
+func (e *Engine) pickLeastLoadedExcept(exclude *NodeProcessor) *NodeProcessor {
+	var best *NodeProcessor
+	for _, p := range e.procs {
+		if p == exclude || p.Down() {
+			continue
+		}
+		if best == nil || p.Inflight() < best.Inflight() {
+			best = p
+		}
+	}
+	return best
 }
 
 // liveProcs returns the node processors not currently crashed.

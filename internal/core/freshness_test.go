@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func TestFreshnessReadsAtLaggingSnapshot(t *testing.T) {
 		"delete from orders where o_orderkey = 1",
 		"delete from orders where o_orderkey = 2",
 	})
-	got, err := s.eng.RunSVP(mustSel(t, "select count(*) from orders"))
+	got, err := s.eng.RunSVP(context.Background(), mustSel(t, "select count(*) from orders"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFreshnessBoundExceeded(t *testing.T) {
 	})
 	// Divergence is 3 > bound 1 and nothing will converge it: the query
 	// must fail after the timeout rather than return inconsistent data.
-	if _, err := s.eng.RunSVP(mustSel(t, "select count(*) from orders")); err == nil {
+	if _, err := s.eng.RunSVP(context.Background(), mustSel(t, "select count(*) from orders")); err == nil {
 		t.Fatal("expected staleness-bound timeout")
 	}
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
 	"apuama/internal/cluster"
 	"apuama/internal/engine"
+	"apuama/internal/fault"
 	"apuama/internal/sql"
 )
 
@@ -13,6 +15,10 @@ import (
 // the paper's per-node component: it owns a pool of connections (here a
 // semaphore bounding concurrent statements per node) and a Query Executor
 // that ships a statement and waits for the result.
+//
+// Every request path is context-aware (pool admission and injected
+// faults both honour cancellation) so a per-query deadline set upstream
+// can abandon a wedged node instead of blocking forever.
 type NodeProcessor struct {
 	node *engine.Node
 	pool chan struct{}
@@ -21,6 +27,19 @@ type NodeProcessor struct {
 	// cluster.ErrBackendDown until Revive. Used by failure-injection
 	// tests and chaos runs.
 	down atomic.Bool
+
+	// faults optionally scripts richer failure modes (stragglers, flaky
+	// errors, mid-query crashes, delayed recovery) via internal/fault.
+	faults atomic.Pointer[fault.Injector]
+
+	// excluded mirrors the controller's circuit breaker: a tripped
+	// backend stays out of the SVP fan-out and the consistency barrier
+	// until the controller has replayed its missed writes and re-admitted
+	// it — even if the node itself has already healed. Without this the
+	// barrier would wait on a healed-but-stale replica whose catch-up
+	// (recovery replay, needing the write lock) can itself be queued
+	// behind a write that the barrier is holding at the gate.
+	excluded atomic.Bool
 }
 
 // NewNodeProcessor wraps a node with a connection pool of the given size.
@@ -35,11 +54,26 @@ func NewNodeProcessor(node *engine.Node, poolSize int) *NodeProcessor {
 // counter; tests inspect its buffer pool).
 func (p *NodeProcessor) Node() *engine.Node { return p.node }
 
-// acquire takes a pooled connection.
-func (p *NodeProcessor) acquire() func() {
-	p.pool <- struct{}{}
-	return func() { <-p.pool }
+// InjectFaults attaches a fault injector; nil detaches.
+func (p *NodeProcessor) InjectFaults(inj *fault.Injector) { p.faults.Store(inj) }
+
+// Faults returns the attached fault injector, if any.
+func (p *NodeProcessor) Faults() *fault.Injector { return p.faults.Load() }
+
+// acquire takes a pooled connection, abandoning the wait if the context
+// is cancelled first.
+func (p *NodeProcessor) acquire(ctx context.Context) (func(), error) {
+	select {
+	case p.pool <- struct{}{}:
+		return func() { <-p.pool }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
+
+// Inflight reports the number of statements currently holding a pooled
+// connection (the hedging dispatcher's load signal).
+func (p *NodeProcessor) Inflight() int { return len(p.pool) }
 
 // Kill simulates a node crash: subsequent requests report
 // cluster.ErrBackendDown.
@@ -48,45 +82,129 @@ func (p *NodeProcessor) Kill() { p.down.Store(true) }
 // Revive clears a simulated crash.
 func (p *NodeProcessor) Revive() { p.down.Store(false) }
 
-// Down reports whether the node is currently "crashed".
-func (p *NodeProcessor) Down() bool { return p.down.Load() }
+// SetAdmitted reflects the controller's rotation decision (breaker
+// tripped / re-admitted). It affects only planning-time liveness
+// (Down); probes and recovery replay still reach the node.
+func (p *NodeProcessor) SetAdmitted(ok bool) { p.excluded.Store(!ok) }
 
-// Query forwards a read-only statement unchanged (the pass-through path
-// for OLTP queries and SVP-ineligible OLAP queries).
-func (p *NodeProcessor) Query(sqlText string) (*engine.Result, error) {
+// Down reports whether the node is currently out of service: "crashed"
+// via Kill, out of rotation at the controller, or down per an attached
+// fault injector. It never consumes a scripted fault — liveness peeks
+// must not advance the script.
+func (p *NodeProcessor) Down() bool {
+	if p.down.Load() || p.excluded.Load() {
+		return true
+	}
+	if inj := p.faults.Load(); inj != nil {
+		return inj.Down()
+	}
+	return false
+}
+
+// begin runs the down check and the fault script for one operation. The
+// returned hook (possibly nil) must be applied to the operation's error.
+func (p *NodeProcessor) begin(ctx context.Context) (after func(error) error, err error) {
 	if p.down.Load() {
 		return nil, cluster.ErrBackendDown
 	}
-	release := p.acquire()
+	if inj := p.faults.Load(); inj != nil {
+		return inj.Begin(ctx)
+	}
+	return nil, nil
+}
+
+// Ping reports whether the node would accept a request right now. It
+// consults the fault script (consuming one scripted request, which is
+// what lets delayed-recovery faults heal under a probe loop) but ships
+// no statement.
+func (p *NodeProcessor) Ping(ctx context.Context) error {
+	after, err := p.begin(ctx)
+	if err != nil {
+		return err
+	}
+	if after != nil {
+		return after(nil)
+	}
+	return nil
+}
+
+// Query forwards a read-only statement unchanged (the pass-through path
+// for OLTP queries and SVP-ineligible OLAP queries).
+func (p *NodeProcessor) Query(ctx context.Context, sqlText string) (*engine.Result, error) {
+	after, err := p.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	release, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
-	return p.node.Query(sqlText)
+	res, qerr := p.node.Query(sqlText)
+	if after != nil {
+		qerr = after(qerr)
+	}
+	if qerr != nil {
+		return nil, qerr
+	}
+	return res, nil
 }
 
 // QueryAt runs a parsed sub-query pinned to the barrier snapshot, with
 // sequential scans disabled for the duration (the paper's SET
 // enable_seqscan dance around each SVP sub-query).
-func (p *NodeProcessor) QueryAt(stmt *sql.SelectStmt, snapshot int64, forceIndex bool) (*engine.Result, error) {
-	if p.down.Load() {
-		return nil, cluster.ErrBackendDown
+func (p *NodeProcessor) QueryAt(ctx context.Context, stmt *sql.SelectStmt, snapshot int64, forceIndex bool) (*engine.Result, error) {
+	after, err := p.begin(ctx)
+	if err != nil {
+		return nil, err
 	}
-	release := p.acquire()
+	release, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
-	return p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex})
+	res, qerr := p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex})
+	if after != nil {
+		qerr = after(qerr)
+	}
+	if qerr != nil {
+		return nil, qerr
+	}
+	return res, nil
 }
 
-// ApplyWrite forwards a middleware-ordered write.
-func (p *NodeProcessor) ApplyWrite(writeID int64, stmt sql.Statement) (int64, error) {
-	if p.down.Load() {
-		return 0, cluster.ErrBackendDown
+// ApplyWrite forwards a middleware-ordered write. A crash-mid-query
+// fault may apply the write and then report the node dead; the node's
+// watermark advances with the write, so recovery replay skips it and
+// replicas stay consistent.
+func (p *NodeProcessor) ApplyWrite(ctx context.Context, writeID int64, stmt sql.Statement) (int64, error) {
+	after, err := p.begin(ctx)
+	if err != nil {
+		return 0, err
 	}
-	release := p.acquire()
+	release, err := p.acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
 	defer release()
-	return p.node.ApplyWrite(writeID, stmt)
+	n, werr := p.node.ApplyWrite(writeID, stmt)
+	if after != nil {
+		werr = after(werr)
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	return n, nil
 }
 
 // TxnCounter returns the node's transaction counter (its applied-write
 // watermark) — the value the blocker compares across nodes.
 func (p *NodeProcessor) TxnCounter() int64 { return p.node.Watermark() }
 
-// waitSpin is the poll interval of the blocker's convergence loop.
-const waitSpin = 50 * time.Microsecond
+// waitSpin is the initial poll interval of the convergence loops; each
+// unproductive poll doubles it up to waitSpinMax (capped exponential
+// backoff instead of a fixed busy-spin).
+const (
+	waitSpin    = 50 * time.Microsecond
+	waitSpinMax = 2 * time.Millisecond
+)

@@ -14,6 +14,51 @@ import (
 // intra-query is not explored").
 var ErrNotEligible = errors.New("query is not eligible for virtual partitioning")
 
+// Fallback reason classes: the stable, low-cardinality keys under which
+// Stats.FallbackReasons buckets ineligibility. Keying by class instead
+// of the formatted error string keeps the map bounded on long chaos
+// runs no matter how many distinct queries fall back.
+const (
+	ReasonNoVPTable       = "no-vp-table"
+	ReasonSelectStar      = "select-star"
+	ReasonDistinctAgg     = "distinct-aggregate"
+	ReasonNonDecomposable = "non-decomposable-aggregate"
+	ReasonSubquery        = "uncorrelated-subquery"
+	ReasonOrderBy         = "order-by-not-in-select"
+	ReasonCompose         = "non-composable-expression"
+	ReasonKeyDomain       = "key-domain"
+	ReasonOther           = "other"
+)
+
+// NotEligibleError carries the ineligibility class alongside the
+// human-readable detail. It unwraps to ErrNotEligible.
+type NotEligibleError struct {
+	Class string
+	msg   string
+}
+
+func (e *NotEligibleError) Error() string { return e.msg }
+
+// Unwrap lets errors.Is(err, ErrNotEligible) keep working.
+func (e *NotEligibleError) Unwrap() error { return ErrNotEligible }
+
+// notEligible builds a classed ineligibility error.
+func notEligible(class, format string, args ...any) error {
+	return &NotEligibleError{
+		Class: class,
+		msg:   ErrNotEligible.Error() + ": " + fmt.Sprintf(format, args...),
+	}
+}
+
+// FallbackClass maps a fallback error to its stats bucket.
+func FallbackClass(err error) string {
+	var ne *NotEligibleError
+	if errors.As(err, &ne) {
+		return ne.Class
+	}
+	return ReasonOther
+}
+
 // Rewrite is the product of planning a query for SVP: the partial
 // sub-query template (range predicate added per node), the composition
 // query run over the union of partial results, and bookkeeping.
@@ -75,11 +120,11 @@ func PlanSVP(stmt *sql.SelectStmt, cat *Catalog) (*Rewrite, error) {
 		}
 	}
 	if len(refs) == 0 {
-		return nil, fmt.Errorf("%w: no virtually partitioned table in FROM", ErrNotEligible)
+		return nil, notEligible(ReasonNoVPTable, "no virtually partitioned table in FROM")
 	}
 	for _, it := range stmt.Items {
 		if it.Star {
-			return nil, fmt.Errorf("%w: SELECT * is not decomposed", ErrNotEligible)
+			return nil, notEligible(ReasonSelectStar, "SELECT * is not decomposed")
 		}
 	}
 	// Sub-queries referencing VP tables must be key-correlated.
@@ -92,12 +137,12 @@ func PlanSVP(stmt *sql.SelectStmt, cat *Catalog) (*Rewrite, error) {
 	aggs := collectAggregates(stmt)
 	for _, a := range aggs {
 		if a.Distinct {
-			return nil, fmt.Errorf("%w: %s(distinct) is not decomposable", ErrNotEligible, a.Name)
+			return nil, notEligible(ReasonDistinctAgg, "%s(distinct) is not decomposable", a.Name)
 		}
 		switch strings.ToLower(a.Name) {
 		case "sum", "count", "avg", "min", "max":
 		default:
-			return nil, fmt.Errorf("%w: aggregate %s is not decomposable", ErrNotEligible, a.Name)
+			return nil, notEligible(ReasonNonDecomposable, "aggregate %s is not decomposable", a.Name)
 		}
 	}
 	if len(aggs) == 0 && len(stmt.GroupBy) == 0 {
@@ -137,7 +182,7 @@ func checkSubquery(sub *sql.SelectStmt, cat *Catalog) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("%w: sub-query references a partitioned table without key correlation", ErrNotEligible)
+	return notEligible(ReasonSubquery, "sub-query references a partitioned table without key correlation")
 }
 
 func isVPAOfSub(c *sql.ColumnRef, subRefs map[string]string) bool {
@@ -463,7 +508,7 @@ func rewriteComposeExpr(e sql.Expr, groupMap, aggMap map[string]sql.Expr) (sql.E
 		}
 		return c, nil
 	default:
-		return nil, fmt.Errorf("%w: %T above aggregation cannot be composed", ErrNotEligible, e)
+		return nil, notEligible(ReasonCompose, "%T above aggregation cannot be composed", e)
 	}
 }
 
@@ -491,7 +536,7 @@ func rewriteOrderBy(stmt *sql.SelectStmt, outNames []string) ([]sql.OrderItem, e
 			}
 		}
 		if pos < 0 {
-			return nil, fmt.Errorf("%w: ORDER BY key %q is not in the select list", ErrNotEligible, oi.Expr.SQL())
+			return nil, notEligible(ReasonOrderBy, "ORDER BY key %q is not in the select list", oi.Expr.SQL())
 		}
 		out = append(out, sql.OrderItem{Expr: &sql.ColumnRef{Name: outNames[pos]}, Desc: oi.Desc})
 	}

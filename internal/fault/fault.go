@@ -1,0 +1,225 @@
+// Package fault is a deterministic fault-injection subsystem for the
+// Apuama stack. An Injector attaches to one node processor (or any
+// backend) and scripts the failure modes a shared-nothing cluster
+// actually exhibits — not just the instant binary crash the original
+// failure tests modelled:
+//
+//   - crash: every request fails with cluster.ErrBackendDown until Heal.
+//   - crash-mid-query: the k-th request performs its work, then the
+//     "node" dies before replying — the partial-work case that makes
+//     snapshot-pinned retries interesting.
+//   - slow: added latency per statement, constant or ramping — the
+//     straggler that stalls a gather loop (Rödiger et al.: distributed
+//     query latency is dominated by the slowest participant).
+//   - flaky: every k-th request fails with cluster.ErrTransient — the
+//     error class the resilience layer retries with backoff.
+//   - delayed recovery: down for a number of requests, then self-heals —
+//     what a restarting process looks like to a recovery probe.
+//
+// Determinism: all scheduling is keyed off a per-injector request
+// counter, and the only randomness (latency jitter) comes from a seeded
+// PRNG, so a chaos test replays identically for a given seed and request
+// interleaving. Injected latency is the one place wall-clock time enters,
+// and it is context-aware: a cancelled query returns immediately instead
+// of serving out the injected sleep.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"apuama/internal/cluster"
+)
+
+// Stats counts what an injector actually did, so tests assert on
+// injected behaviour rather than sleeping and hoping.
+type Stats struct {
+	Requests      int64         // operations that consulted the injector
+	Rejected      int64         // requests refused because the node was down
+	MidQueryKills int64         // requests that did their work and then "crashed"
+	TransientErrs int64         // flaky failures injected
+	Delayed       int64         // requests that served injected latency
+	DelayInjected time.Duration // total injected latency
+	Heals         int64         // delayed recoveries that completed
+}
+
+// Injector scripts faults for one node. The zero value is inert; use New
+// and the chainable configuration methods. All methods are safe for
+// concurrent use.
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	n   int64 // requests observed
+
+	downForever   bool
+	downRemaining int64 // >0: delayed recovery, decremented per request
+	crashAt       int64 // request index that crashes mid-query (0 = off)
+	crashHeal     int64 // rejected requests before a mid-query crash heals (0 = stays down)
+	flakyEvery    int64
+	slowBase      time.Duration
+	slowRamp      time.Duration
+	jitterFrac    float64
+
+	stats Stats
+}
+
+// New returns an inert injector whose latency jitter draws from the
+// given seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Crash scripts a hard crash: every request fails until Heal.
+func (inj *Injector) Crash() *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.downForever = true
+	return inj
+}
+
+// DownFor scripts a delayed recovery: the next n requests fail with
+// ErrBackendDown, then the node self-heals. Recovery probes count as
+// requests, so the heal point is deterministic in probe order rather
+// than wall-clock time.
+func (inj *Injector) DownFor(n int64) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.downForever = false
+	inj.downRemaining = n
+	return inj
+}
+
+// CrashMidQueryAt scripts a crash mid-query: request k (1-based, counted
+// from now) performs its work and then fails as if the node died before
+// replying. healAfter > 0 additionally scripts a delayed recovery: the
+// node rejects that many further requests and then self-heals;
+// healAfter <= 0 leaves it down until Heal.
+func (inj *Injector) CrashMidQueryAt(k, healAfter int64) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.crashAt = inj.n + k
+	inj.crashHeal = healAfter
+	return inj
+}
+
+// Slow scripts a straggler: every request serves base added latency,
+// plus ramp for each request already served (ramp > 0 models a node
+// degrading over time).
+func (inj *Injector) Slow(base, ramp time.Duration) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.slowBase, inj.slowRamp = base, ramp
+	return inj
+}
+
+// Jitter adds up to frac (e.g. 0.2 = +20%) of seeded random extra
+// latency to each injected delay.
+func (inj *Injector) Jitter(frac float64) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.jitterFrac = frac
+	return inj
+}
+
+// FlakyEvery scripts a transient failure on every k-th request.
+func (inj *Injector) FlakyEvery(k int64) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.flakyEvery = k
+	return inj
+}
+
+// Heal clears every down state (crash, crash-mid-query aftermath,
+// delayed recovery). Slow and flaky scripts keep running.
+func (inj *Injector) Heal() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.downForever = false
+	inj.downRemaining = 0
+	inj.crashAt = 0
+}
+
+// Down reports whether the injector is currently rejecting requests,
+// without consuming one (liveness peeks must not advance the script).
+func (inj *Injector) Down() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.downForever || inj.downRemaining > 0
+}
+
+// Snapshot returns a copy of the injector's activity counters.
+func (inj *Injector) Snapshot() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// Begin consults the script for one operation. It serves any injected
+// latency (honouring ctx) and returns either an injected error — the
+// operation must not run — or an optional after-hook the caller invokes
+// with the operation's outcome (crash-mid-query replaces it with a
+// crash). Either return may be nil.
+func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err error) {
+	inj.mu.Lock()
+	inj.n++
+	n := inj.n
+	inj.stats.Requests++
+	// Down states reject before any work happens.
+	if inj.downForever {
+		inj.stats.Rejected++
+		inj.mu.Unlock()
+		return nil, fmt.Errorf("injected crash: %w", cluster.ErrBackendDown)
+	}
+	if inj.downRemaining > 0 {
+		inj.downRemaining--
+		inj.stats.Rejected++
+		if inj.downRemaining == 0 {
+			inj.stats.Heals++
+		}
+		inj.mu.Unlock()
+		return nil, fmt.Errorf("injected outage: %w", cluster.ErrBackendDown)
+	}
+	if inj.flakyEvery > 0 && n%inj.flakyEvery == 0 {
+		inj.stats.TransientErrs++
+		inj.mu.Unlock()
+		return nil, fmt.Errorf("injected flaky failure (request %d): %w", n, cluster.ErrTransient)
+	}
+	var delay time.Duration
+	if inj.slowBase > 0 || inj.slowRamp > 0 {
+		delay = inj.slowBase + time.Duration(n-1)*inj.slowRamp
+		if inj.jitterFrac > 0 && delay > 0 {
+			delay += time.Duration(inj.rng.Float64() * inj.jitterFrac * float64(delay))
+		}
+		inj.stats.Delayed++
+		inj.stats.DelayInjected += delay
+	}
+	crashNow := inj.crashAt > 0 && n >= inj.crashAt
+	if crashNow {
+		// This request does its work; the "node" then dies before the
+		// reply, optionally healing after crashHeal rejected requests.
+		inj.crashAt = 0
+		inj.downForever = inj.crashHeal <= 0
+		inj.downRemaining = inj.crashHeal
+		inj.stats.MidQueryKills++
+	}
+	inj.mu.Unlock()
+
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	if crashNow {
+		return func(error) error {
+			return fmt.Errorf("injected crash mid-query (request %d): %w", n, cluster.ErrBackendDown)
+		}, nil
+	}
+	return nil, nil
+}

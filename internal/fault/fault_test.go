@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"apuama/internal/cluster"
+)
+
+func begin(t *testing.T, inj *Injector) (func(error) error, error) {
+	t.Helper()
+	return inj.Begin(context.Background())
+}
+
+func TestInertInjector(t *testing.T) {
+	inj := New(1)
+	for i := 0; i < 5; i++ {
+		after, err := begin(t, inj)
+		if err != nil || after != nil {
+			t.Fatalf("inert injector interfered: hook=%t err=%v", after != nil, err)
+		}
+	}
+	st := inj.Snapshot()
+	if st.Requests != 5 || st.Rejected != 0 || st.TransientErrs != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCrashAndHeal(t *testing.T) {
+	inj := New(1).Crash()
+	if !inj.Down() {
+		t.Fatal("Crash should report down")
+	}
+	if _, err := begin(t, inj); !errors.Is(err, cluster.ErrBackendDown) {
+		t.Fatalf("want ErrBackendDown, got %v", err)
+	}
+	inj.Heal()
+	if inj.Down() {
+		t.Fatal("Heal should clear down")
+	}
+	if _, err := begin(t, inj); err != nil {
+		t.Fatalf("healed injector rejected: %v", err)
+	}
+}
+
+func TestDownForHealsDeterministically(t *testing.T) {
+	inj := New(1).DownFor(3)
+	for i := 0; i < 3; i++ {
+		if !inj.Down() {
+			t.Fatalf("request %d: should still be down", i)
+		}
+		if _, err := begin(t, inj); !errors.Is(err, cluster.ErrBackendDown) {
+			t.Fatalf("request %d: want ErrBackendDown, got %v", i, err)
+		}
+	}
+	if inj.Down() {
+		t.Fatal("should have healed after 3 requests")
+	}
+	if _, err := begin(t, inj); err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	st := inj.Snapshot()
+	if st.Rejected != 3 || st.Heals != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDownPeekDoesNotConsume(t *testing.T) {
+	inj := New(1).DownFor(2)
+	for i := 0; i < 10; i++ {
+		if !inj.Down() {
+			t.Fatal("peeks must not advance the script")
+		}
+	}
+}
+
+func TestFlakyCadence(t *testing.T) {
+	inj := New(1).FlakyEvery(3)
+	var transients int
+	for i := 1; i <= 9; i++ {
+		_, err := begin(t, inj)
+		if errors.Is(err, cluster.ErrTransient) {
+			transients++
+			if i%3 != 0 {
+				t.Fatalf("transient on request %d, want every 3rd", i)
+			}
+		} else if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if transients != 3 {
+		t.Fatalf("transients: %d", transients)
+	}
+	if st := inj.Snapshot(); st.TransientErrs != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSlowDelaysAndHonoursContext(t *testing.T) {
+	inj := New(1).Slow(5*time.Millisecond, 0)
+	start := time.Now()
+	if _, err := begin(t, inj); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay not served")
+	}
+
+	// A cancelled context abandons the injected sleep immediately.
+	slow := New(1).Slow(time.Hour, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	_, err := slow.Begin(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("injected sleep ignored cancellation")
+	}
+}
+
+func TestSlowRampGrows(t *testing.T) {
+	inj := New(1).Slow(time.Millisecond, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if _, err := begin(t, inj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delays 1ms + 2ms + 3ms = 6ms total.
+	if st := inj.Snapshot(); st.DelayInjected != 6*time.Millisecond {
+		t.Fatalf("ramped delay: %v", st.DelayInjected)
+	}
+}
+
+func TestJitterIsSeededDeterministic(t *testing.T) {
+	a := New(42).Slow(time.Millisecond, 0).Jitter(0.5)
+	b := New(42).Slow(time.Millisecond, 0).Jitter(0.5)
+	for i := 0; i < 5; i++ {
+		if _, err := begin(t, a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := begin(t, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Snapshot().DelayInjected != b.Snapshot().DelayInjected {
+		t.Fatal("same seed must produce identical jitter")
+	}
+}
+
+func TestCrashMidQuery(t *testing.T) {
+	inj := New(1).CrashMidQueryAt(2, 2)
+	// Request 1 is untouched.
+	if after, err := begin(t, inj); err != nil || after != nil {
+		t.Fatalf("request 1: hook=%t err=%v", after != nil, err)
+	}
+	// Request 2 does its work, then the after-hook reports the crash.
+	after, err := begin(t, inj)
+	if err != nil {
+		t.Fatalf("request 2 rejected before work: %v", err)
+	}
+	if after == nil {
+		t.Fatal("request 2: no after-hook")
+	}
+	if err := after(nil); !errors.Is(err, cluster.ErrBackendDown) {
+		t.Fatalf("after-hook: want ErrBackendDown, got %v", err)
+	}
+	// Down for 2 more requests, then healed.
+	for i := 0; i < 2; i++ {
+		if _, err := begin(t, inj); !errors.Is(err, cluster.ErrBackendDown) {
+			t.Fatalf("aftermath request %d: %v", i, err)
+		}
+	}
+	if _, err := begin(t, inj); err != nil {
+		t.Fatalf("post-heal: %v", err)
+	}
+	st := inj.Snapshot()
+	if st.MidQueryKills != 1 || st.Rejected != 2 || st.Heals != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCrashMidQueryStaysDownWithoutHealAfter(t *testing.T) {
+	inj := New(1).CrashMidQueryAt(1, 0)
+	after, err := begin(t, inj)
+	if err != nil || after == nil {
+		t.Fatalf("crash request: hook=%t err=%v", after != nil, err)
+	}
+	if err := after(nil); !errors.Is(err, cluster.ErrBackendDown) {
+		t.Fatal("after-hook must report the crash")
+	}
+	if !inj.Down() {
+		t.Fatal("must stay down until Heal")
+	}
+	inj.Heal()
+	if _, err := begin(t, inj); err != nil {
+		t.Fatalf("post-Heal: %v", err)
+	}
+}
