@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race bench clean
+.PHONY: all build test tier1 vet race fuzz-replay fuzz-smoke cover bench clean
 
 all: build test
 
@@ -16,12 +16,40 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verification: static checks plus the full suite under the race
-# detector (chaos/resilience tests included).
-tier1: vet race
+# Replay the checked-in fuzz corpora (testdata/fuzz/) as plain tests:
+# every past crasher and interesting input must stay green.
+fuzz-replay:
+	$(GO) test -run Fuzz ./internal/sql/ ./internal/core/
+
+# Tier-1 verification: static checks, the full suite under the race
+# detector (chaos/resilience tests included), and corpus replay.
+tier1: vet race fuzz-replay
+
+# Short live fuzzing of each target (30s apiece) — a smoke pass, not a
+# campaign; run the targets individually with -fuzztime for longer.
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzParse$$' -fuzztime 30s ./internal/sql/
+	$(GO) test -fuzz FuzzParseAll -fuzztime 30s ./internal/sql/
+	$(GO) test -fuzz FuzzDecompose -fuzztime 30s ./internal/core/
+
+# Coverage with per-package floors on the engine-critical packages. The
+# floors are set a few points under current coverage so regressions
+# fail loudly without blocking unrelated work.
+COVER_FLOOR_CORE := 82
+COVER_FLOOR_SQL  := 76
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/sql/ ./internal/obs/
+	@$(GO) tool cover -func=cover.out | tail -1
+	@core=$$($(GO) test -cover ./internal/core/ | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*'); \
+	sql=$$($(GO) test -cover ./internal/sql/ | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*'); \
+	echo "internal/core $$core% (floor $(COVER_FLOOR_CORE)%)  internal/sql $$sql% (floor $(COVER_FLOOR_SQL)%)"; \
+	awk "BEGIN{exit !($$core >= $(COVER_FLOOR_CORE))}" || { echo "FAIL: internal/core coverage $$core% below floor $(COVER_FLOOR_CORE)%"; exit 1; }; \
+	awk "BEGIN{exit !($$sql >= $(COVER_FLOOR_SQL))}" || { echo "FAIL: internal/sql coverage $$sql% below floor $(COVER_FLOOR_SQL)%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

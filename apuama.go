@@ -19,6 +19,8 @@ package apuama
 import (
 	"context"
 	"fmt"
+	"io"
+	"strconv"
 	"time"
 
 	"apuama/internal/cluster"
@@ -26,6 +28,7 @@ import (
 	"apuama/internal/costmodel"
 	"apuama/internal/engine"
 	"apuama/internal/fault"
+	"apuama/internal/obs"
 	"apuama/internal/tpch"
 )
 
@@ -54,6 +57,17 @@ func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
 // IO / CPU / network latencies). See internal/costmodel for the fields
 // and DESIGN.md for the calibration rationale.
 type CostConfig = costmodel.Config
+
+// MetricsRegistry is the cluster's metrics registry: counters, gauges
+// and latency histograms for every query-lifecycle phase and resilience
+// event. See internal/obs for the metric vocabulary and
+// Cluster.WriteMetrics for the Prometheus text export.
+type MetricsRegistry = obs.Registry
+
+// QueryTrace is one finished query's span tree (the slow-query log
+// entry): query → barrier-wait → dispatch → subquery[i] → gather →
+// compose, with per-span durations and node/attempt/hedge annotations.
+type QueryTrace = obs.SpanSnapshot
 
 // DefaultCost returns the calibrated cost model used by the experiment
 // harness.
@@ -114,16 +128,31 @@ type Config struct {
 	// DisableAutoRecovery keeps tripped backends out of rotation until a
 	// manual RecoverNode (the original C-JDBC behaviour).
 	DisableAutoRecovery bool
+
+	// Trace enables per-query span tracing: every query records its
+	// lifecycle as a span tree, retained in a bounded slow-query log
+	// (read it with Cluster.SlowLog). Off by default; the metrics
+	// registry is always on.
+	Trace bool
+	// SlowLogSize bounds the slow-query ring buffer (default 128).
+	SlowLogSize int
+	// SlowQueryThreshold keeps only queries at least this slow in the
+	// log (zero records every traced query).
+	SlowQueryThreshold time.Duration
 }
 
 // Cluster is a running database cluster: the single external view the
 // middleware presents to applications.
 type Cluster struct {
-	cfg   Config
-	db    *engine.Database
-	nodes []*engine.Node
-	eng   *core.Engine
-	ctl   *cluster.Controller
+	cfg    Config
+	db     *engine.Database
+	nodes  []*engine.Node
+	eng    *core.Engine
+	ctl    *cluster.Controller
+	reg    *obs.Registry
+	tracer *obs.Tracer // nil unless Config.Trace
+
+	mQueryDur *obs.Histogram
 }
 
 // Open builds a cluster with Config.Nodes replicas and the TPC-H virtual
@@ -141,7 +170,17 @@ func Open(cfg Config) (*Cluster, error) {
 	for i := range nodes {
 		nodes[i] = engine.NewNode(i, db)
 	}
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if cfg.Trace {
+		size := cfg.SlowLogSize
+		if size <= 0 {
+			size = 128
+		}
+		tracer = obs.NewTracer(size, cfg.SlowQueryThreshold)
+	}
 	opts := core.DefaultOptions()
+	opts.Metrics = reg
 	opts.DisableSVP = cfg.DisableSVP
 	if cfg.UseAVP {
 		opts.Strategy = core.AVP
@@ -167,8 +206,13 @@ func Open(cfg Config) (*Cluster, error) {
 		RetryBackoff:        cfg.RetryBackoff,
 		ProbeInterval:       cfg.ProbeInterval,
 		DisableAutoRecovery: cfg.DisableAutoRecovery,
+		Metrics:             reg,
 	})
-	return &Cluster{cfg: cfg, db: db, nodes: nodes, eng: eng, ctl: ctl}, nil
+	return &Cluster{
+		cfg: cfg, db: db, nodes: nodes, eng: eng, ctl: ctl,
+		reg: reg, tracer: tracer,
+		mQueryDur: reg.Histogram(obs.MQueryDuration),
+	}, nil
 }
 
 // Close stops the cluster's background recovery probes. Queries keep
@@ -187,13 +231,25 @@ func (c *Cluster) LoadTPCH(sf float64, seed int64) error {
 // virtually partitioned tables execute with intra-query parallelism
 // across every node; everything else is load-balanced to one replica.
 func (c *Cluster) Query(sqlText string) (*Result, error) {
-	return c.ctl.Query(sqlText)
+	return c.QueryContext(context.Background(), sqlText)
 }
 
 // QueryContext is Query bounded by the context's deadline: a wedged or
-// straggling cluster abandons the request once ctx is done.
+// straggling cluster abandons the request once ctx is done. When
+// tracing is on (Config.Trace) the query records its lifecycle span
+// tree into the slow-query log; the end-to-end latency histogram is
+// always observed.
 func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
-	return c.ctl.QueryContext(ctx, sqlText)
+	sp := c.tracer.StartQuery(sqlText)
+	ctx = obs.WithSpan(ctx, sp)
+	t0 := time.Now()
+	res, err := c.ctl.QueryContext(ctx, sqlText)
+	c.mQueryDur.Observe(time.Since(t0))
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	}
+	sp.End()
+	return res, err
 }
 
 // Exec submits a write (totally ordered and broadcast to all replicas),
@@ -215,14 +271,31 @@ func (c *Cluster) ControllerStats() CtlStats { return c.ctl.Snapshot() }
 
 // InjectFaults attaches a fault injector to node i (nil detaches). The
 // injector scripts crashes, stragglers, flaky errors and delayed
-// recoveries deterministically; see internal/fault.
+// recoveries deterministically (see internal/fault); its activity is
+// mirrored into the metrics registry labeled by node and fault kind.
 func (c *Cluster) InjectFaults(i int, inj *FaultInjector) error {
 	if i < 0 || i >= len(c.nodes) {
 		return fmt.Errorf("no node %d", i)
 	}
+	if inj != nil {
+		inj.PublishTo(c.reg, strconv.Itoa(i))
+	}
 	c.eng.Procs()[i].InjectFaults(inj)
 	return nil
 }
+
+// Metrics returns the cluster's metrics registry (always live; tracing
+// knobs do not affect it).
+func (c *Cluster) Metrics() *MetricsRegistry { return c.reg }
+
+// WriteMetrics writes every registered metric in Prometheus text
+// exposition format (histograms appear as summaries with p50/p95/p99
+// quantiles).
+func (c *Cluster) WriteMetrics(w io.Writer) error { return c.reg.WritePrometheus(w) }
+
+// SlowLog returns the retained query traces, most recent first. Nil
+// unless Config.Trace is set.
+func (c *Cluster) SlowLog() []QueryTrace { return c.tracer.SlowLog() }
 
 // NumNodes returns the replica count.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }

@@ -35,6 +35,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "small smoke configuration")
 		baseline = flag.Bool("baseline", false, "disable Apuama (C-JDBC baseline)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+		trace    = flag.Bool("trace", false, "trace each TPC-H query once and print the per-phase latency breakdown")
 	)
 	flag.Parse()
 
@@ -66,6 +67,13 @@ func main() {
 		cfg.ReadStreams = *streams
 	}
 	cfg.Baseline = *baseline
+
+	if *trace {
+		if err := runTrace(cfg); err != nil {
+			log.Fatalf("apuama-bench: trace: %v", err)
+		}
+		return
+	}
 
 	var progress io.Writer
 	if !*quiet {

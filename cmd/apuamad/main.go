@@ -9,18 +9,63 @@
 //
 //	apuamad -nodes 8 -sf 0.01 -addr 127.0.0.1:7654
 //	apuamad -nodes 8 -sf 0.01 -baseline   # inter-query parallelism only
+//
+// With -metrics-addr it additionally serves observability over HTTP:
+//
+//	GET /metrics       Prometheus text exposition of the cluster registry
+//	GET /debug/slowlog JSON span trees of recent slow queries (needs -trace)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	apuama "apuama"
 	"apuama/internal/wire"
 )
+
+// serveObs starts the observability HTTP listener: /metrics in
+// Prometheus text format and /debug/slowlog as a JSON array of span
+// trees (empty unless the daemon runs with -trace).
+func serveObs(addr string, c *apuama.Cluster) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := c.WriteMetrics(w); err != nil {
+			log.Printf("apuamad: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		traces := c.SlowLog()
+		if traces == nil {
+			traces = []apuama.QueryTrace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traces); err != nil {
+			log.Printf("apuamad: /debug/slowlog: %v", err)
+		}
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("apuamad: metrics server: %v", err)
+		}
+	}()
+	return srv, nil
+}
 
 func main() {
 	var (
@@ -32,10 +77,18 @@ func main() {
 		avp      = flag.Bool("avp", false, "use Adaptive Virtual Partitioning instead of SVP")
 		stale    = flag.Int64("staleness", 0, "relaxed-freshness bound in writes (0 = strict barrier)")
 		sleep    = flag.Bool("realtime", false, "sleep simulated latencies (realistic timing)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/slowlog on this address (e.g. 127.0.0.1:7655; empty = off)")
+		trace       = flag.Bool("trace", false, "record per-query lifecycle span trees into the slow-query log")
+		slowLogSize = flag.Int("slowlog-size", 128, "slow-query log ring size")
+		slowerThan  = flag.Duration("slower-than", 0, "only log queries at least this slow (0 = all traced queries)")
 	)
 	flag.Parse()
 
-	cfg := apuama.Config{Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale}
+	cfg := apuama.Config{
+		Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale,
+		Trace: *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,
+	}
 	cfg.Cost = apuama.DefaultCost()
 	cfg.Cost.RealSleep = *sleep
 	c, err := apuama.Open(cfg)
@@ -55,6 +108,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("apuamad: %v", err)
 	}
+	var obsSrv *http.Server
+	if *metricsAddr != "" {
+		obsSrv, err = serveObs(*metricsAddr, c)
+		if err != nil {
+			log.Fatalf("apuamad: metrics listener: %v", err)
+		}
+		fmt.Printf("apuamad: observability on http://%s/metrics and /debug/slowlog\n", *metricsAddr)
+	}
 	mode := "apuama (inter- + intra-query parallelism)"
 	if *baseline {
 		mode = "baseline (inter-query parallelism only)"
@@ -65,6 +126,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("\napuamad: shutting down")
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	if err := srv.Close(); err != nil {
 		log.Printf("apuamad: close: %v", err)
 	}

@@ -29,6 +29,7 @@ import (
 
 	"apuama/internal/costmodel"
 	"apuama/internal/engine"
+	"apuama/internal/obs"
 	"apuama/internal/sql"
 )
 
@@ -152,6 +153,10 @@ type Options struct {
 	// tripped backends then stay out of rotation until a manual Recover,
 	// the original C-JDBC behaviour.
 	DisableAutoRecovery bool
+	// Metrics, when set, mirrors the controller's resilience counters
+	// (breaker trips, probes, auto-recoveries, retries, failovers) into
+	// the registry for the /metrics endpoint.
+	Metrics *obs.Registry
 }
 
 // CtlStats counts the controller's degraded-mode activity so chaos tests
@@ -213,6 +218,14 @@ type Controller struct {
 	autoRecoveries   atomic.Int64
 	transientRetries atomic.Int64
 	readFailovers    atomic.Int64
+
+	// Registry mirrors of the counters above (nil-safe no-ops when
+	// Options.Metrics is unset).
+	mBreakerTrips     *obs.Counter
+	mProbes           *obs.Counter
+	mAutoRecoveries   *obs.Counter
+	mTransientRetries *obs.Counter
+	mReadFailovers    *obs.Counter
 }
 
 // loggedWrite is one entry of the recovery log.
@@ -244,6 +257,12 @@ func New(db *engine.Database, backends []Backend, opts Options) *Controller {
 		db: db, policy: opts.Policy, opts: opts,
 		net: costmodel.NewMeter(cfg),
 		ctx: ctx, cancel: cancel,
+
+		mBreakerTrips:     opts.Metrics.Counter(obs.MBreakerTrips),
+		mProbes:           opts.Metrics.Counter(obs.MProbes),
+		mAutoRecoveries:   opts.Metrics.Counter(obs.MAutoRecoveries),
+		mTransientRetries: opts.Metrics.Counter(obs.MTransientRetries),
+		mReadFailovers:    opts.Metrics.Counter(obs.MReadFailovers),
 	}
 	for _, b := range backends {
 		c.backends = append(c.backends, &backendState{b: b})
@@ -307,6 +326,7 @@ func (c *Controller) QueryContext(ctx context.Context, sqlText string) (*engine.
 		if errors.Is(err, ErrBackendDown) {
 			c.trip(bs)
 			c.readFailovers.Add(1)
+			c.mReadFailovers.Inc()
 			continue
 		}
 		if errors.Is(err, ErrTransient) {
@@ -315,6 +335,7 @@ func (c *Controller) QueryContext(ctx context.Context, sqlText string) (*engine.
 				c.trip(bs)
 			}
 			c.readFailovers.Add(1)
+			c.mReadFailovers.Inc()
 			continue
 		}
 		if err != nil {
@@ -345,6 +366,7 @@ func (c *Controller) queryBackend(ctx context.Context, bs *backendState, sqlText
 			return nil, err
 		}
 		c.transientRetries.Add(1)
+		c.mTransientRetries.Inc()
 		if serr := sleepCtx(ctx, backoff); serr != nil {
 			return nil, serr
 		}
@@ -385,6 +407,7 @@ func (c *Controller) pick() (*backendState, error) {
 func (c *Controller) trip(bs *backendState) {
 	if bs.disabled.CompareAndSwap(false, true) {
 		c.breakerTrips.Add(1)
+		c.mBreakerTrips.Inc()
 	}
 	if a, ok := bs.b.(Admittable); ok {
 		a.SetAdmitted(false)
@@ -426,6 +449,7 @@ func (c *Controller) probeLoop(bs *backendState) {
 		case <-time.After(interval):
 		}
 		c.probes.Add(1)
+		c.mProbes.Inc()
 		if err := bs.b.Ping(c.ctx); err != nil {
 			interval = capDuration(interval*2, maxProbeInterval)
 			continue
@@ -436,6 +460,7 @@ func (c *Controller) probeLoop(bs *backendState) {
 			continue
 		}
 		c.autoRecoveries.Add(1)
+		c.mAutoRecoveries.Inc()
 		c.probeMu.Lock()
 		if !bs.disabled.Load() {
 			bs.probing = false
@@ -580,6 +605,7 @@ func (c *Controller) ExecWriteContext(ctx context.Context, stmt sql.Statement) (
 				n, err := bs.b.ApplyWrite(ctx, id, stmt)
 				if errors.Is(err, ErrTransient) && try < c.opts.RetryLimit {
 					c.transientRetries.Add(1)
+					c.mTransientRetries.Inc()
 					if serr := sleepCtx(ctx, backoff); serr != nil {
 						replies <- reply{bs: bs, err: serr}
 						return

@@ -77,6 +77,7 @@ func (e *Engine) runAVP(ctx context.Context, procs []*NodeProcessor, rw *Rewrite
 				p.Node().Meter().Charge(cfg.NetMessage)
 				start := time.Now()
 				res, err := p.QueryAt(ctx, sub, snapshot, e.opts.ForceIndexScan)
+				e.m.subqueryDur.Observe(time.Since(start))
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -103,14 +104,9 @@ func (e *Engine) runAVP(ctx context.Context, procs []*NodeProcessor, rw *Rewrite
 	}
 	e.net.Charge(time.Duration(rows) * cfg.NetPerRow)
 	e.net.Flush()
-	e.bump(func(s *Stats) {
-		s.SubQueries += int64(subQueries)
-		s.ComposedRows += rows
-	})
-	if e.opts.StreamCompose {
-		return e.composeStreaming(rw, partials)
-	}
-	return e.composeMemDB(rw, partials)
+	e.st.subQueries.Add(int64(subQueries))
+	e.st.composedRows.Add(rows)
+	return e.compose(ctx, rw, partials)
 }
 
 // adapt implements the AVP sizing rule: double the chunk while the

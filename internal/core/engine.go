@@ -5,13 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
+	"strconv"
 	"time"
 
 	"apuama/internal/cluster"
 	"apuama/internal/costmodel"
 	"apuama/internal/engine"
 	"apuama/internal/memdb"
+	"apuama/internal/obs"
 	"apuama/internal/sql"
 	"apuama/internal/sqltypes"
 )
@@ -80,6 +81,14 @@ type Options struct {
 	HedgeMultiplier float64
 	// DisableHedging turns speculative re-dispatch off.
 	DisableHedging bool
+
+	// Metrics, when set, mirrors every engine counter into the registry
+	// and attributes per-phase latency (barrier, dispatch, sub-query,
+	// gather, compose) to histograms. Nil disables mirroring at zero
+	// hot-path cost. Span tracing is independent: the engine records
+	// lifecycle spans onto whatever query span the caller placed in the
+	// context (obs.WithSpan).
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -110,8 +119,10 @@ type Engine struct {
 	opts    Options
 	net     *costmodel.Meter
 
-	statsMu sync.Mutex
-	stats   Stats
+	// st is the engine's counter block (atomic fields; see stats.go) and
+	// m the pre-resolved metric handles mirroring it into Options.Metrics.
+	st engineStats
+	m  engineMetrics
 }
 
 // Stats counts engine activity (exposed for experiments and tests).
@@ -159,10 +170,13 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 		gate:    newBlocker(),
 		opts:    opts,
 		net:     costmodel.NewMeter(db.Config()),
+		m:       newEngineMetrics(opts.Metrics),
 	}
-	e.stats.FallbackReasons = map[string]int64{}
+	e.st.wire(opts.Metrics)
 	for _, nd := range nodes {
-		e.procs = append(e.procs, NewNodeProcessor(nd, opts.PoolSize))
+		p := NewNodeProcessor(nd, opts.PoolSize)
+		p.setObs(opts.Metrics)
+		e.procs = append(e.procs, p)
 	}
 	return e
 }
@@ -183,17 +197,10 @@ func (e *Engine) Procs() []*NodeProcessor { return e.procs }
 // NetMeter exposes the engine's partial-result network meter.
 func (e *Engine) NetMeter() *costmodel.Meter { return e.net }
 
-// Snapshot returns a copy of the engine counters.
-func (e *Engine) Snapshot() Stats {
-	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	s := e.stats
-	s.FallbackReasons = map[string]int64{}
-	for k, v := range e.stats.FallbackReasons {
-		s.FallbackReasons[k] = v
-	}
-	return s
-}
+// Snapshot returns a copy of the engine counters. Every scalar field is
+// read with an atomic load (writers never block a snapshot and vice
+// versa), and FallbackReasons is a fresh map the caller owns.
+func (e *Engine) Snapshot() Stats { return e.st.snapshot() }
 
 // backendProxy is what the controller sees as one replica connection.
 type backendProxy struct {
@@ -221,10 +228,15 @@ func (bp *backendProxy) Query(ctx context.Context, sqlText string) (*engine.Resu
 				return nil, err
 			}
 			bp.eng.countFallback(err)
+			obs.SpanFrom(ctx).Annotate("svp_fallback", FallbackClass(err))
 		}
 	}
-	bp.eng.bump(func(s *Stats) { s.PassThrough++ })
-	return bp.proc.Query(ctx, sqlText)
+	bp.eng.st.passThrough.Inc()
+	span := obs.SpanFrom(ctx).Child("passthrough")
+	span.Annotate("node", strconv.Itoa(bp.proc.node.ID()))
+	res, err := bp.proc.Query(ctx, sqlText)
+	span.End()
+	return res, err
 }
 
 // ApplyWrite holds the write at the consistency gate, then forwards it.
@@ -233,7 +245,7 @@ func (bp *backendProxy) Query(ctx context.Context, sqlText string) (*engine.Resu
 func (bp *backendProxy) ApplyWrite(ctx context.Context, writeID int64, stmt sql.Statement) (int64, error) {
 	if !bp.eng.opts.NoBarrier && bp.eng.opts.MaxStaleness <= 0 {
 		if bp.eng.gate.admitWrite(writeID) {
-			bp.eng.bump(func(s *Stats) { s.BlockedWrites++ })
+			bp.eng.st.blockedWrites.Inc()
 		}
 	}
 	return bp.proc.ApplyWrite(ctx, writeID, stmt)
@@ -258,15 +270,14 @@ func (bp *backendProxy) Set(st *sql.SetStmt) error {
 // Watermark reports the node's replication position for recovery.
 func (bp *backendProxy) Watermark() int64 { return bp.proc.node.Watermark() }
 
-func (e *Engine) bump(f func(*Stats)) {
-	e.statsMu.Lock()
-	f(&e.stats)
-	e.statsMu.Unlock()
-}
-
 func (e *Engine) countFallback(err error) {
 	class := FallbackClass(err)
-	e.bump(func(s *Stats) { s.FallbackReasons[class]++ })
+	e.st.fbMu.Lock()
+	e.st.fallbackReasons[class]++
+	e.st.fbMu.Unlock()
+	// Fallbacks are off the hot path; the labeled counter is resolved
+	// per event to keep the handle set bounded by FallbackClass.
+	e.m.reg.Counter(obs.Labeled(obs.MFallbacks, "reason", class)).Inc()
 }
 
 // partial is one sub-query attempt's outcome reaching the gather loop.
@@ -297,11 +308,17 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			defer cancel()
 		}
 	}
+	// The query span (placed in ctx by the facade when tracing is on)
+	// receives one child per lifecycle phase; a nil span no-ops.
+	qspan := obs.SpanFrom(ctx)
+	planSpan := qspan.Child("plan")
 	rw, err := PlanSVP(sel, e.catalog)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	lo, hi, err := e.catalog.KeyDomain(e.db, rw.Table)
+	planSpan.End()
 	if err != nil {
 		return nil, notEligible(ReasonKeyDomain, "%v", err)
 	}
@@ -320,6 +337,7 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	// replica's snapshot without stalling updates.
 	var snapshot int64
 	barrier := !e.opts.NoBarrier && e.opts.MaxStaleness <= 0
+	barSpan := qspan.Child("barrier-wait")
 	start := time.Now()
 	switch {
 	case e.opts.NoBarrier:
@@ -327,6 +345,7 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	case e.opts.MaxStaleness > 0:
 		snapshot, err = e.awaitFreshness(ctx, procs, e.opts.MaxStaleness)
 		if err != nil {
+			barSpan.End()
 			return nil, err
 		}
 	default:
@@ -334,9 +353,14 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 		snapshot, err = e.gate.awaitConsistent(ctx, procs, e.opts.BarrierTimeout)
 		if err != nil {
 			e.gate.unblock()
+			barSpan.End()
 			return nil, err
 		}
 	}
+	barWait := time.Since(start)
+	barSpan.End()
+	e.st.barrierWait.Add(int64(barWait))
+	e.m.barrierWait.Observe(barWait)
 
 	if e.opts.Strategy == AVP {
 		// AVP dispatches its first chunk per node immediately; updates
@@ -345,10 +369,7 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 		if barrier {
 			defer e.gate.unblock()
 		}
-		e.bump(func(s *Stats) {
-			s.SVPQueries++
-			s.BarrierWaits += time.Since(start)
-		})
+		e.st.svpQueries.Inc()
 		return e.runAVP(ctx, procs, rw, snapshot, lo, hi)
 	}
 
@@ -364,18 +385,33 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			tried := map[*NodeProcessor]bool{p: true}
 			backoff := e.opts.RetryBackoff
 			retries := 0
+			attempt := 0
 			for {
 				// Dispatch messages travel in parallel; charge each
 				// node's own meter with the middleware->node round trip.
+				attempt++
+				sq := qspan.Child("subquery")
+				sq.Annotate("partition", strconv.Itoa(idx))
+				sq.Annotate("node", strconv.Itoa(p.Node().ID()))
+				sq.Annotate("attempt", strconv.Itoa(attempt))
+				if hedge {
+					sq.Annotate("hedged", "true")
+				}
 				p.Node().Meter().Charge(cfg.NetMessage)
+				t0 := time.Now()
 				res, qerr := p.QueryAt(ctx, sub, snapshot, e.opts.ForceIndexScan)
+				e.m.subqueryDur.Observe(time.Since(t0))
+				if qerr != nil {
+					sq.Annotate("error", qerr.Error())
+				}
+				sq.End()
 				if qerr == nil {
 					results <- partial{idx: idx, res: res, hedge: hedge}
 					return
 				}
 				if errors.Is(qerr, cluster.ErrTransient) && retries < e.opts.RetryLimit {
 					retries++
-					e.bump(func(s *Stats) { s.BackoffRetries++ })
+					e.st.backoffRetries.Inc()
 					if sleepCtx(ctx, backoff) != nil {
 						results <- partial{idx: idx, err: ctx.Err(), hedge: hedge}
 						return
@@ -389,10 +425,8 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 						p = alt
 						retries = 0
 						backoff = e.opts.RetryBackoff
-						e.bump(func(s *Stats) {
-							s.SubQueries++
-							s.SubQueryRetries++
-						})
+						e.st.subQueries.Inc()
+						e.st.subQueryRetries.Inc()
 						continue
 					}
 					qerr = fmt.Errorf("no live node left for partition %d: %w", idx, qerr)
@@ -402,6 +436,8 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			}
 		}()
 	}
+	dispSpan := qspan.Child("dispatch")
+	dispStart := time.Now()
 	subs := make([]*sql.SelectStmt, n)
 	for i, p := range procs {
 		subs[i] = rw.SubQuery(i, n, lo, hi)
@@ -412,11 +448,10 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	if barrier {
 		e.gate.unblock()
 	}
-	e.bump(func(s *Stats) {
-		s.SVPQueries++
-		s.SubQueries += int64(n)
-		s.BarrierWaits += time.Since(start)
-	})
+	dispSpan.End()
+	e.m.dispatch.Observe(time.Since(dispStart))
+	e.st.svpQueries.Inc()
+	e.st.subQueries.Add(int64(n))
 
 	// Gather with straggler hedging: once a majority of partitions has
 	// answered, pending partitions past HedgeMultiplier × the median
@@ -437,6 +472,12 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	}
 	var completions []time.Duration
 	completed := 0
+	gatherSpan := qspan.Child("gather")
+	gatherStart := time.Now()
+	// End() keeps the first duration, so the success path's explicit End
+	// (before compose) wins and the deferred one only covers error
+	// returns out of the gather loop.
+	defer gatherSpan.End()
 	var hedgeTimer *time.Timer
 	var hedgeC <-chan time.Time
 	stopHedge := func() {
@@ -472,13 +513,11 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			}
 			done[pr.idx] = true
 			if hedged[pr.idx] {
-				e.bump(func(s *Stats) {
-					if pr.hedge {
-						s.HedgesWon++
-					} else {
-						s.HedgesLost++
-					}
-				})
+				if pr.hedge {
+					e.st.hedgesWon.Inc()
+				} else {
+					e.st.hedgesLost.Inc()
+				}
 			}
 			completed++
 			completions = append(completions, time.Since(start))
@@ -503,16 +542,14 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 				hedged[i] = true
 				inflight[i]++
 				outstanding++
-				e.bump(func(s *Stats) {
-					s.Hedges++
-					s.SubQueries++
-				})
+				e.st.hedges.Inc()
+				e.st.subQueries.Inc()
 				dispatch(alt, i, subs[i], true)
 			}
 		case <-ctx.Done():
 			// Abandon the gather: workers notice ctx themselves and
 			// drain into the buffered channel.
-			e.bump(func(s *Stats) { s.DeadlineAborts++ })
+			e.st.deadlineAborts.Inc()
 			return nil, fmt.Errorf("query abandoned at deadline: %w", ctx.Err())
 		}
 	}
@@ -521,19 +558,37 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			firstErr = ctx.Err()
 		}
 		if errors.Is(firstErr, context.DeadlineExceeded) || errors.Is(firstErr, context.Canceled) {
-			e.bump(func(s *Stats) { s.DeadlineAborts++ })
+			e.st.deadlineAborts.Inc()
 			return nil, fmt.Errorf("query abandoned at deadline: %w", firstErr)
 		}
 		return nil, fmt.Errorf("sub-query failed: %w", firstErr)
 	}
+	gatherSpan.End()
+	e.m.gather.Observe(time.Since(gatherStart))
 	e.net.Charge(time.Duration(rows) * cfg.NetPerRow)
 	e.net.Flush()
-	e.bump(func(s *Stats) { s.ComposedRows += rows })
+	e.st.composedRows.Add(rows)
 
+	return e.compose(ctx, rw, partials)
+}
+
+// compose runs the configured result composer under a timed span.
+func (e *Engine) compose(ctx context.Context, rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
+	span := obs.SpanFrom(ctx).Child("compose")
+	t0 := time.Now()
+	var res *engine.Result
+	var err error
 	if e.opts.StreamCompose {
-		return e.composeStreaming(rw, partials)
+		res, err = e.composeStreaming(rw, partials)
+	} else {
+		res, err = e.composeMemDB(rw, partials)
 	}
-	return e.composeMemDB(rw, partials)
+	e.m.compose.Observe(time.Since(t0))
+	if err != nil {
+		span.Annotate("error", err.Error())
+	}
+	span.End()
+	return res, err
 }
 
 // hedgeThreshold computes the straggler cutoff (measured from query
@@ -579,14 +634,10 @@ func (e *Engine) awaitFreshness(ctx context.Context, procs []*NodeProcessor, bou
 			}
 		}
 		if hi-lo <= bound {
-			e.bump(func(s *Stats) {
-				if hi > lo {
-					s.StaleReads++
-				}
-				if hi-lo > s.MaxObservedStaleness {
-					s.MaxObservedStaleness = hi - lo
-				}
-			})
+			if hi > lo {
+				e.st.staleReads.Inc()
+			}
+			e.st.observeStaleness(hi - lo)
 			return lo, nil
 		}
 		if time.Now().After(deadline) {

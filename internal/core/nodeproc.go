@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"apuama/internal/cluster"
 	"apuama/internal/engine"
 	"apuama/internal/fault"
+	"apuama/internal/obs"
 	"apuama/internal/sql"
 )
 
@@ -40,6 +42,11 @@ type NodeProcessor struct {
 	// (recovery replay, needing the write lock) can itself be queued
 	// behind a write that the barrier is holding at the gate.
 	excluded atomic.Bool
+
+	// Per-node observability handles (nil when no registry is wired):
+	// queueing delay at the connection pool and current pool occupancy.
+	poolWait *obs.Histogram
+	inflight *obs.Gauge
 }
 
 // NewNodeProcessor wraps a node with a connection pool of the given size.
@@ -54,6 +61,17 @@ func NewNodeProcessor(node *engine.Node, poolSize int) *NodeProcessor {
 // counter; tests inspect its buffer pool).
 func (p *NodeProcessor) Node() *engine.Node { return p.node }
 
+// setObs wires the processor's per-node metrics (nil reg disables).
+// Called once at engine construction, before any traffic.
+func (p *NodeProcessor) setObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	id := strconv.Itoa(p.node.ID())
+	p.poolWait = reg.Histogram(obs.Labeled(obs.MPoolWait, "node", id))
+	p.inflight = reg.Gauge(obs.Labeled(obs.MNodeInflight, "node", id))
+}
+
 // InjectFaults attaches a fault injector; nil detaches.
 func (p *NodeProcessor) InjectFaults(inj *fault.Injector) { p.faults.Store(inj) }
 
@@ -61,11 +79,24 @@ func (p *NodeProcessor) InjectFaults(inj *fault.Injector) { p.faults.Store(inj) 
 func (p *NodeProcessor) Faults() *fault.Injector { return p.faults.Load() }
 
 // acquire takes a pooled connection, abandoning the wait if the context
-// is cancelled first.
+// is cancelled first. When metrics are wired, the admission wait is
+// attributed to the node's pool-wait histogram — the queueing-delay
+// signal that distinguishes a slow node from an oversubscribed one.
 func (p *NodeProcessor) acquire(ctx context.Context) (func(), error) {
+	var t0 time.Time
+	if p.poolWait != nil {
+		t0 = time.Now()
+	}
 	select {
 	case p.pool <- struct{}{}:
-		return func() { <-p.pool }, nil
+		if p.poolWait != nil {
+			p.poolWait.Observe(time.Since(t0))
+			p.inflight.Set(int64(len(p.pool)))
+		}
+		return func() {
+			<-p.pool
+			p.inflight.Set(int64(len(p.pool)))
+		}, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

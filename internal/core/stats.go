@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apuama/internal/obs"
+)
+
+// statCounter pairs one public Stats field with its mirrored registry
+// counter: a single Add updates both, so the engine's own counters and
+// the /metrics endpoint can never disagree. The mirror is nil when no
+// registry is configured (obs.Counter is nil-safe).
+type statCounter struct {
+	v atomic.Int64
+	m *obs.Counter
+}
+
+func (c *statCounter) Add(n int64) {
+	c.v.Add(n)
+	c.m.Add(n)
+}
+
+func (c *statCounter) Inc() { c.Add(1) }
+
+func (c *statCounter) Load() int64 { return c.v.Load() }
+
+// engineStats is the engine's internal counter block. Every field is
+// written with atomic operations (no shared mutex on the query hot
+// path) and read with atomic loads by Snapshot, so a Snapshot taken
+// concurrently with running queries is race-free by construction — the
+// regression class PR 2 closes. Only the fallback-reason map, which is
+// off the hot path, takes a lock.
+type engineStats struct {
+	svpQueries      statCounter
+	passThrough     statCounter
+	subQueries      statCounter
+	blockedWrites   statCounter
+	composedRows    statCounter
+	staleReads      statCounter
+	subQueryRetries statCounter
+	backoffRetries  statCounter
+	hedges          statCounter
+	hedgesWon       statCounter
+	hedgesLost      statCounter
+	deadlineAborts  statCounter
+
+	maxStaleness atomic.Int64
+	barrierWait  atomic.Int64 // nanoseconds
+
+	fbMu            sync.Mutex
+	fallbackReasons map[string]int64
+}
+
+// wire connects each counter's mirror to the registry (nil reg leaves
+// the mirrors nil, i.e. engine-local counting only).
+func (st *engineStats) wire(reg *obs.Registry) {
+	st.fallbackReasons = map[string]int64{}
+	st.svpQueries.m = reg.Counter(obs.MSVPQueries)
+	st.passThrough.m = reg.Counter(obs.MPassThrough)
+	st.subQueries.m = reg.Counter(obs.MSubqueries)
+	st.blockedWrites.m = reg.Counter(obs.MBlockedWrites)
+	st.composedRows.m = reg.Counter(obs.MComposedRows)
+	st.staleReads.m = reg.Counter(obs.MStaleReads)
+	st.subQueryRetries.m = reg.Counter(obs.MSubqueryRetries)
+	st.backoffRetries.m = reg.Counter(obs.MBackoffRetries)
+	st.hedges.m = reg.Counter(obs.MHedges)
+	st.hedgesWon.m = reg.Counter(obs.MHedgesWon)
+	st.hedgesLost.m = reg.Counter(obs.MHedgesLost)
+	st.deadlineAborts.m = reg.Counter(obs.MDeadlineAborts)
+}
+
+// observeStaleness records a freshness-mode read d writes behind the
+// head, keeping the running maximum with a CAS loop.
+func (st *engineStats) observeStaleness(d int64) {
+	for {
+		cur := st.maxStaleness.Load()
+		if d <= cur || st.maxStaleness.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// snapshot assembles the public Stats view from atomic loads.
+func (st *engineStats) snapshot() Stats {
+	s := Stats{
+		SVPQueries:           st.svpQueries.Load(),
+		PassThrough:          st.passThrough.Load(),
+		SubQueries:           st.subQueries.Load(),
+		BlockedWrites:        st.blockedWrites.Load(),
+		ComposedRows:         st.composedRows.Load(),
+		StaleReads:           st.staleReads.Load(),
+		MaxObservedStaleness: st.maxStaleness.Load(),
+		SubQueryRetries:      st.subQueryRetries.Load(),
+		BackoffRetries:       st.backoffRetries.Load(),
+		Hedges:               st.hedges.Load(),
+		HedgesWon:            st.hedgesWon.Load(),
+		HedgesLost:           st.hedgesLost.Load(),
+		DeadlineAborts:       st.deadlineAborts.Load(),
+		BarrierWaits:         time.Duration(st.barrierWait.Load()),
+		FallbackReasons:      map[string]int64{},
+	}
+	st.fbMu.Lock()
+	for k, v := range st.fallbackReasons {
+		s.FallbackReasons[k] = v
+	}
+	st.fbMu.Unlock()
+	return s
+}
+
+// engineMetrics holds the engine's pre-resolved histogram handles (all
+// nil, hence no-ops, when no registry is configured).
+type engineMetrics struct {
+	reg         *obs.Registry
+	barrierWait *obs.Histogram
+	dispatch    *obs.Histogram
+	gather      *obs.Histogram
+	compose     *obs.Histogram
+	subqueryDur *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		reg:         reg,
+		barrierWait: reg.Histogram(obs.MBarrierWait),
+		dispatch:    reg.Histogram(obs.MDispatch),
+		gather:      reg.Histogram(obs.MGather),
+		compose:     reg.Histogram(obs.MCompose),
+		subqueryDur: reg.Histogram(obs.MSubqueryDuration),
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"apuama/internal/tpch"
+)
+
+// TestSnapshotConcurrentWithQueries is the regression test for the
+// Snapshot data race: Stats used to be a plain struct bumped under a
+// mutex on some paths and read bare on others. Stats are now atomics,
+// so reading a snapshot while SVP queries, pass-through reads and
+// writes are in flight must be race-clean (run with -race), and the
+// returned FallbackReasons map must be caller-owned — mutating it must
+// neither race with nor leak back into the engine's bookkeeping.
+func TestSnapshotConcurrentWithQueries(t *testing.T) {
+	s := buildStack(t, 4, DefaultOptions())
+
+	const (
+		readers  = 4
+		queriers = 4
+		rounds   = 8
+	)
+	stop := make(chan struct{})
+	var readerWG, querierWG sync.WaitGroup
+
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.eng.Snapshot()
+				if st.SubQueries < 0 || st.SVPQueries < 0 {
+					t.Error("negative counter in snapshot")
+					return
+				}
+				st.FallbackReasons["scribble"]++
+			}
+		}()
+	}
+
+	for i := 0; i < queriers; i++ {
+		querierWG.Add(1)
+		go func(id int) {
+			defer querierWG.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := s.ctl.Query(tpch.MustQuery(6)); err != nil {
+					t.Errorf("querier %d: %v", id, err)
+					return
+				}
+				// Pass-through path (not SVP-eligible) and a write, so
+				// every counter family is bumped concurrently.
+				if _, err := s.ctl.Query("select count(*) from region"); err != nil {
+					t.Errorf("querier %d: %v", id, err)
+					return
+				}
+				if _, err := s.ctl.Exec("update region set r_name = 'x' where r_regionkey = 0"); err != nil {
+					t.Errorf("querier %d: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	querierWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	st := s.eng.Snapshot()
+	wantSVP := int64(queriers * rounds)
+	if st.SVPQueries != wantSVP {
+		t.Errorf("SVPQueries = %d, want %d", st.SVPQueries, wantSVP)
+	}
+	if st.PassThrough != wantSVP {
+		t.Errorf("PassThrough = %d, want %d", st.PassThrough, wantSVP)
+	}
+	if st.SubQueries < wantSVP {
+		t.Errorf("SubQueries = %d, want >= %d", st.SubQueries, wantSVP)
+	}
+	if _, ok := st.FallbackReasons["scribble"]; ok {
+		t.Error("snapshot map is shared with the engine (scribble leaked back)")
+	}
+}

@@ -65,7 +65,11 @@ func (s *seqScanOp) next(ex *execCtx) (sqltypes.Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				if !v.Bool() {
+				keep, err := filterTrue(v)
+				if err != nil {
+					return nil, err
+				}
+				if !keep {
 					continue
 				}
 			}
@@ -163,7 +167,11 @@ func (s *indexScanOp) next(ex *execCtx) (sqltypes.Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			if !v.Bool() {
+			keep, err := filterTrue(v)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
 				continue
 			}
 		}
@@ -193,7 +201,11 @@ func (f *filterOp) next(ex *execCtx) (sqltypes.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if v.Bool() {
+		keep, err := filterTrue(v)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
 			return row, nil
 		}
 	}
@@ -360,7 +372,11 @@ func (n *nestedLoopOp) next(ex *execCtx) (sqltypes.Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				if !v.Bool() {
+				keep, err := filterTrue(v)
+				if err != nil {
+					return nil, err
+				}
+				if !keep {
 					continue
 				}
 			}

@@ -119,6 +119,30 @@ func (e *cmpExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
 
 // Three-valued AND/OR/NOT (Kleene logic).
 
+// boolOperand classifies a value feeding a boolean connective or a row
+// filter under SQL's three-valued logic. Non-boolean kinds are a type
+// error rather than a truthiness coercion: a bare string column used as
+// a predicate must fail the same way everywhere, or paths that AND
+// extra conjuncts onto a query (the SVP range rewrite) would silently
+// disagree with the original about which rows qualify.
+func boolOperand(v sqltypes.Value) (isTrue, isNull bool, err error) {
+	switch v.K {
+	case sqltypes.KindBool:
+		return v.I != 0, false, nil
+	case sqltypes.KindNull:
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("boolean condition expected, got %s value %s", v.K, v)
+	}
+}
+
+// filterTrue reports whether a predicate value keeps a row (NULL means
+// "not true").
+func filterTrue(v sqltypes.Value) (bool, error) {
+	t, _, err := boolOperand(v)
+	return t, err
+}
+
 type andExpr struct{ l, r bexpr }
 
 func (e *andExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
@@ -126,17 +150,25 @@ func (e *andExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
 	if err != nil {
 		return sqltypes.Null(), err
 	}
-	if l.K == sqltypes.KindBool && l.I == 0 {
+	lt, ln, err := boolOperand(l)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	if !lt && !ln {
 		return sqltypes.NewBool(false), nil
 	}
 	r, err := e.r.eval(ec)
 	if err != nil {
 		return sqltypes.Null(), err
 	}
-	if r.K == sqltypes.KindBool && r.I == 0 {
+	rt, rn, err := boolOperand(r)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	if !rt && !rn {
 		return sqltypes.NewBool(false), nil
 	}
-	if l.IsNull() || r.IsNull() {
+	if ln || rn {
 		return sqltypes.Null(), nil
 	}
 	return sqltypes.NewBool(true), nil
@@ -149,17 +181,25 @@ func (e *orExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
 	if err != nil {
 		return sqltypes.Null(), err
 	}
-	if l.Bool() {
+	lt, ln, err := boolOperand(l)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	if lt {
 		return sqltypes.NewBool(true), nil
 	}
 	r, err := e.r.eval(ec)
 	if err != nil {
 		return sqltypes.Null(), err
 	}
-	if r.Bool() {
+	rt, rn, err := boolOperand(r)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	if rt {
 		return sqltypes.NewBool(true), nil
 	}
-	if l.IsNull() || r.IsNull() {
+	if ln || rn {
 		return sqltypes.Null(), nil
 	}
 	return sqltypes.NewBool(false), nil
@@ -169,10 +209,17 @@ type notExpr struct{ e bexpr }
 
 func (e *notExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
 	v, err := e.e.eval(ec)
-	if err != nil || v.IsNull() {
+	if err != nil {
 		return sqltypes.Null(), err
 	}
-	return sqltypes.NewBool(!v.Bool()), nil
+	t, n, err := boolOperand(v)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	if n {
+		return sqltypes.Null(), nil
+	}
+	return sqltypes.NewBool(!t), nil
 }
 
 // betweenExpr is lo <= e <= hi with 3VL.
@@ -330,7 +377,11 @@ func (e *caseExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
 		if err != nil {
 			return sqltypes.Null(), err
 		}
-		if c.Bool() {
+		ct, err := filterTrue(c)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if ct {
 			return w.then.eval(ec)
 		}
 	}

@@ -437,7 +437,11 @@ func (nd *Node) collectTargets(writeID int64, table string, where sql.Expr) ([]s
 				if err != nil {
 					return nil, nil, err
 				}
-				if !v.Bool() {
+				keep, err := filterTrue(v)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !keep {
 					continue
 				}
 			}
@@ -459,7 +463,11 @@ func (nd *Node) collectTargets(writeID int64, table string, where sql.Expr) ([]s
 				if err != nil {
 					return nil, nil, err
 				}
-				if !v.Bool() {
+				keep, err := filterTrue(v)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !keep {
 					continue
 				}
 			}

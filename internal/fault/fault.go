@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"apuama/internal/cluster"
+	"apuama/internal/obs"
 )
 
 // Stats counts what an injector actually did, so tests assert on
@@ -64,6 +65,32 @@ type Injector struct {
 	jitterFrac    float64
 
 	stats Stats
+	m     injectorMetrics
+}
+
+// injectorMetrics mirrors injected-fault activity into a metrics
+// registry, labeled by node and fault kind, so a chaos run's injected
+// load shows up on /metrics next to the resilience counters it drives.
+// All handles are nil (no-ops) until PublishTo wires them.
+type injectorMetrics struct {
+	rejected  *obs.Counter
+	midKills  *obs.Counter
+	transient *obs.Counter
+	delayed   *obs.Counter
+}
+
+// PublishTo mirrors the injector's activity counters into reg, labeled
+// with the given node id. Chainable; call before attaching the injector.
+func (inj *Injector) PublishTo(reg *obs.Registry, node string) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.m = injectorMetrics{
+		rejected:  reg.Counter(obs.Labeled(obs.MFaultsDown, "node", node, "kind", "down")),
+		midKills:  reg.Counter(obs.Labeled(obs.MFaultsDown, "node", node, "kind", "crash-mid-query")),
+		transient: reg.Counter(obs.Labeled(obs.MFaultsDown, "node", node, "kind", "transient")),
+		delayed:   reg.Counter(obs.Labeled(obs.MFaultsDown, "node", node, "kind", "delay")),
+	}
+	return inj
 }
 
 // New returns an inert injector whose latency jitter draws from the
@@ -170,12 +197,14 @@ func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err er
 	// Down states reject before any work happens.
 	if inj.downForever {
 		inj.stats.Rejected++
+		inj.m.rejected.Inc()
 		inj.mu.Unlock()
 		return nil, fmt.Errorf("injected crash: %w", cluster.ErrBackendDown)
 	}
 	if inj.downRemaining > 0 {
 		inj.downRemaining--
 		inj.stats.Rejected++
+		inj.m.rejected.Inc()
 		if inj.downRemaining == 0 {
 			inj.stats.Heals++
 		}
@@ -184,6 +213,7 @@ func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err er
 	}
 	if inj.flakyEvery > 0 && n%inj.flakyEvery == 0 {
 		inj.stats.TransientErrs++
+		inj.m.transient.Inc()
 		inj.mu.Unlock()
 		return nil, fmt.Errorf("injected flaky failure (request %d): %w", n, cluster.ErrTransient)
 	}
@@ -194,6 +224,7 @@ func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err er
 			delay += time.Duration(inj.rng.Float64() * inj.jitterFrac * float64(delay))
 		}
 		inj.stats.Delayed++
+		inj.m.delayed.Inc()
 		inj.stats.DelayInjected += delay
 	}
 	crashNow := inj.crashAt > 0 && n >= inj.crashAt
@@ -204,6 +235,7 @@ func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err er
 		inj.downForever = inj.crashHeal <= 0
 		inj.downRemaining = inj.crashHeal
 		inj.stats.MidQueryKills++
+		inj.m.midKills.Inc()
 	}
 	inj.mu.Unlock()
 

@@ -1,0 +1,41 @@
+package obs
+
+// Canonical metric names. Every layer registers under these so the
+// /metrics endpoint, the bench --trace table, DESIGN.md and the tests
+// agree on one vocabulary.
+const (
+	// Query lifecycle (Apuama engine, internal/core).
+	MQueryDuration    = "apuama_query_duration_seconds"    // full SVP query, end to end
+	MBarrierWait      = "apuama_barrier_wait_seconds"      // consistency-barrier / freshness wait
+	MDispatch         = "apuama_dispatch_seconds"          // sub-query launch loop
+	MGather           = "apuama_gather_seconds"            // dispatch-complete → last partial
+	MCompose          = "apuama_compose_seconds"           // result composition
+	MSubqueryDuration = "apuama_subquery_duration_seconds" // one sub-query attempt, per node
+
+	// Engine activity counters.
+	MSVPQueries    = "apuama_svp_queries_total"
+	MPassThrough   = "apuama_passthrough_queries_total"
+	MSubqueries    = "apuama_subqueries_total"
+	MBlockedWrites = "apuama_blocked_writes_total"
+	MComposedRows  = "apuama_composed_rows_total"
+	MStaleReads    = "apuama_stale_reads_total"
+	MFallbacks     = "apuama_svp_fallback_total" // labeled {reason=...}
+
+	// Resilience (mirrors of PR 1's counters).
+	MSubqueryRetries  = "apuama_subquery_retries_total" // partition failovers
+	MBackoffRetries   = "apuama_backoff_retries_total"  // in-place transient retries (engine)
+	MHedges           = "apuama_hedges_total"
+	MHedgesWon        = "apuama_hedges_won_total"
+	MHedgesLost       = "apuama_hedges_lost_total"
+	MDeadlineAborts   = "apuama_deadline_aborts_total"
+	MBreakerTrips     = "apuama_breaker_trips_total"
+	MProbes           = "apuama_breaker_probes_total"
+	MAutoRecoveries   = "apuama_auto_recoveries_total"
+	MTransientRetries = "apuama_transient_retries_total" // controller-level retries
+	MReadFailovers    = "apuama_read_failovers_total"
+
+	// Node processors.
+	MPoolWait     = "apuama_pool_wait_seconds"     // connection-pool admission wait, labeled {node=...}
+	MNodeInflight = "apuama_node_inflight"         // gauge, labeled {node=...}
+	MFaultsDown   = "apuama_faults_injected_total" // labeled {node=..., kind=...}
+)

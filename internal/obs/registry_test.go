@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers every metric kind from many goroutines
+// while readers snapshot, list and export concurrently. Run under
+// -race (the tier-1 suite does) this is the registry's thread-safety
+// proof; the assertions after the join are its correctness proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: snapshot consistency must hold at every instant, not
+	// just at rest — Count is derived from the buckets, so a torn read
+	// can never make them disagree.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.HistogramSnapshot("h")
+				var sum int64
+				for _, n := range s.Buckets {
+					sum += n
+				}
+				if s.Count != sum {
+					t.Errorf("snapshot count %d != bucket sum %d", s.Count, sum)
+					return
+				}
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				r.MetricNames()
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		writerWG.Add(1)
+		go func(id int) {
+			defer writerWG.Done()
+			// Resolve handles mid-flight too: get-or-create must be
+			// safe against concurrent get-or-create of the same name.
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(time.Duration(j%2000) * time.Microsecond)
+				if j%100 == 0 {
+					r.Counter(Labeled("c_labeled", "w", "x")).Add(1)
+				}
+			}
+		}(i)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := r.CounterValue("c"); got != writers*perG {
+		t.Errorf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := r.CounterValue(Labeled("c_labeled", "w", "x")); got != writers*perG/100 {
+		t.Errorf("labeled counter = %d, want %d", got, writers*perG/100)
+	}
+	s := r.HistogramSnapshot("h")
+	if s.Count != writers*perG {
+		t.Errorf("histogram count = %d, want %d", s.Count, writers*perG)
+	}
+	var sum int64
+	for _, n := range s.Buckets {
+		sum += n
+	}
+	if s.Count != sum {
+		t.Errorf("final count %d != bucket sum %d", s.Count, sum)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// Bucket boundaries: (2^(i-1), 2^i] µs.
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clamped
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{time.Hour, histBuckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	if q := s.Quantile(1.0); q != BucketBound(histBuckets-1) {
+		t.Errorf("p100 = %v, want overflow bound %v", q, BucketBound(histBuckets-1))
+	}
+	if q := s.Quantile(0.01); q != BucketBound(0) {
+		t.Errorf("p1 = %v, want first bound %v", q, BucketBound(0))
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot quantile/mean should be 0")
+	}
+}
+
+// TestNilSafety: a nil registry yields nil handles and every operation
+// on them is a no-op — the contract that lets instrumented code run
+// branch-free when observability is off.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if r.CounterValue("x") != 0 || r.MetricNames() != nil {
+		t.Error("nil registry reads must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("m_total"); got != "m_total" {
+		t.Errorf("no labels: %q", got)
+	}
+	got := Labeled("m_total", "node", "3", "kind", `a"b\c`)
+	want := `m_total{node="3",kind="a\"b\\c"}`
+	if got != want {
+		t.Errorf("Labeled = %q, want %q", got, want)
+	}
+	if baseName(got) != "m_total" {
+		t.Errorf("baseName(%q) = %q", got, baseName(got))
+	}
+}
+
+// TestWritePrometheusFormat pins the text exposition shape: one TYPE
+// line per base name even with many label sets, counters/gauges as bare
+// samples, histograms as summaries with quantile labels merged into any
+// existing label set.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("req_total", "node", "0")).Add(2)
+	r.Counter(Labeled("req_total", "node", "1")).Add(3)
+	r.Gauge("inflight").Set(7)
+	r.Histogram(Labeled("lat_seconds", "node", "0")).Observe(100 * time.Microsecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE req_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE line for req_total, got %d in:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`req_total{node="0"} 2`,
+		`req_total{node="1"} 3`,
+		`inflight 7`,
+		`# TYPE lat_seconds summary`,
+		`lat_seconds{node="0",quantile="0.5"}`,
+		`lat_seconds_sum{node="0"} 0.0001`,
+		`lat_seconds_count{node="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse asserts two properties over arbitrary input:
+//
+//  1. Parse never panics — malformed SQL must come back as an error,
+//     not a crash in the lexer or recursive-descent parser.
+//  2. Render/parse round-trip stability: for any input that parses,
+//     rendering the AST with SQL() must itself parse, and rendering
+//     that second AST must reproduce the first rendering byte for
+//     byte. (Comparing renderings compares the ASTs up to formatting,
+//     without needing a deep-equal that understands every node type.)
+//
+// The seed corpus in testdata/fuzz/FuzzParse holds the interesting
+// shapes: every paper query's clause forms, boundary literals, and
+// past parser crashers.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select 1",
+		"select count(*) from orders",
+		"select l_returnflag, sum(l_quantity) from lineitem where l_shipdate <= '1998-09-02' group by l_returnflag order by l_returnflag",
+		"select * from orders o join lineitem l on o.o_orderkey = l.l_orderkey where o.o_totalprice between 1 and 2",
+		"select avg(l_extendedprice * (1 - l_discount)) from lineitem limit 3",
+		"insert into t (a, b) values (1, 'x')",
+		"update orders set o_comment = 'y' where o_orderkey in (1, 2, 3)",
+		"delete from lineitem where not (l_quantity >= 50 or l_tax < 0.01)",
+		"create table t (a int primary key, b text)",
+		"set enable_seqscan = off",
+		"select case when a > 0 then 'p' else 'n' end from t",
+		"select -1e308, 9223372036854775807, ''",
+		"explain select 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 || !utf8.ValidString(src) {
+			t.Skip()
+		}
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejecting input is fine; panicking is not
+		}
+		first := stmt.SQL()
+		stmt2, err := Parse(first)
+		if err != nil {
+			t.Fatalf("rendered SQL does not re-parse\ninput:    %q\nrendered: %q\nerror:    %v", src, first, err)
+		}
+		second := stmt2.SQL()
+		if first != second {
+			t.Fatalf("render/parse round-trip unstable\ninput:  %q\nfirst:  %q\nsecond: %q", src, first, second)
+		}
+	})
+}
+
+// FuzzParseAll exercises the multi-statement splitter the loaders use.
+func FuzzParseAll(f *testing.F) {
+	f.Add("select 1; select 2")
+	f.Add("create table t (a int); insert into t (a) values (1);")
+	f.Add(";;;")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 || !utf8.ValidString(src) {
+			t.Skip()
+		}
+		stmts, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			if strings.TrimSpace(s.SQL()) == "" {
+				t.Fatalf("ParseAll returned a statement rendering empty from %q", src)
+			}
+		}
+	})
+}
