@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race fuzz-replay fuzz-smoke cover bench clean
+.PHONY: all build test tier1 vet race fuzz-replay fuzz-smoke cover bench bench-micro clean
 
 all: build test
 
@@ -49,6 +49,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Microbenchmarks of the batch execution path: allocation rate per row
+# (the vectorization win) and time-to-first-batch (the streaming win).
+bench-micro:
+	$(GO) test -bench 'FirstBatch|Allocs' -benchmem -run=^$$ ./internal/engine/
 
 clean:
 	$(GO) clean ./...

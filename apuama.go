@@ -101,6 +101,10 @@ type Config struct {
 	AllowSeqscan bool
 	// PoolSize bounds concurrent statements per node (default 8).
 	PoolSize int
+	// GatherBudget bounds the in-flight partial-result batches buffered
+	// between each node's stream and the composer, per partition
+	// (backpressure on producers that outrun composition; default 8).
+	GatherBudget int
 	// Policy selects the controller's read balancing policy.
 	Policy cluster.Policy
 
@@ -191,6 +195,9 @@ func Open(cfg Config) (*Cluster, error) {
 	opts.ForceIndexScan = !cfg.AllowSeqscan
 	if cfg.PoolSize > 0 {
 		opts.PoolSize = cfg.PoolSize
+	}
+	if cfg.GatherBudget > 0 {
+		opts.GatherBudget = cfg.GatherBudget
 	}
 	opts.QueryTimeout = cfg.QueryTimeout
 	opts.RetryLimit = cfg.RetryLimit

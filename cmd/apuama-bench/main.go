@@ -9,9 +9,11 @@
 //	apuama-bench -exp fig2 -nodes 1,2,4,8
 //	apuama-bench -exp ablations -quick
 //	apuama-bench -exp fig4a -baseline     # inter-query-only comparison
+//	apuama-bench -exp fig2 -json out.json # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +38,7 @@ func main() {
 		baseline = flag.Bool("baseline", false, "disable Apuama (C-JDBC baseline)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 		trace    = flag.Bool("trace", false, "trace each TPC-H query once and print the per-phase latency breakdown")
+		jsonOut  = flag.String("json", "", "also write the figures as JSON to this file (for plotting/CI diffing)")
 	)
 	flag.Parse()
 
@@ -121,7 +124,44 @@ func main() {
 			fig.Normalized().Fprint(os.Stdout)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, *exp, cfg, figs); err != nil {
+			log.Fatalf("apuama-bench: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
 	fmt.Printf("\ntotal time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// benchReport is the -json output document: the run's configuration
+// alongside the raw figures, stable enough to diff across runs.
+type benchReport struct {
+	Experiment string                `json:"experiment"`
+	SF         float64               `json:"sf"`
+	Nodes      []int                 `json:"nodes"`
+	Repeats    int                   `json:"repeats"`
+	Streams    int                   `json:"streams"`
+	Updates    int                   `json:"updates"`
+	Baseline   bool                  `json:"baseline"`
+	Figures    []*experiments.Figure `json:"figures"`
+}
+
+func writeJSON(path, exp string, cfg experiments.Config, figs []*experiments.Figure) error {
+	doc := benchReport{
+		Experiment: exp,
+		SF:         cfg.SF,
+		Nodes:      cfg.Nodes,
+		Repeats:    cfg.Repeats,
+		Streams:    cfg.ReadStreams,
+		Updates:    cfg.UpdateOrders,
+		Baseline:   cfg.Baseline,
+		Figures:    figs,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func one(run func(experiments.Config, io.Writer) (*experiments.Figure, error), cfg experiments.Config, w io.Writer) ([]*experiments.Figure, error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"apuama/internal/engine"
@@ -8,28 +9,45 @@ import (
 	"apuama/internal/sqltypes"
 )
 
+// ctxCheckRows is how many rows the materialized composers process
+// between context checks: frequent enough to abandon a large merge soon
+// after the query deadline passes, cheap enough to be invisible.
+const ctxCheckRows = 1024
+
 // composeStreaming is the ablation composer: instead of handing every
 // partial row to the in-memory DBMS, it folds partials per group key in
 // a hash table (sum/min/max merges from Rewrite.ComposeOps) and only
 // runs the final projection/ordering over the folded rows. This measures
 // how much of the composition cost the paper's HSQLDB route spends on
 // re-aggregation versus projection.
-func (e *Engine) composeStreaming(rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
+//
+// This materialized form remains the AVP composer; the SVP gather path
+// streams into a foldSink instead (see gather.go).
+func (e *Engine) composeStreaming(ctx context.Context, rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
 	nG := rw.GroupCount
 	nAgg := len(rw.ComposeOps)
 	if nAgg == 0 {
 		// Plain (non-aggregate) rewrite: nothing to fold, just union.
 		var all []sqltypes.Row
 		for _, p := range partials {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			all = append(all, p.Rows...)
 		}
-		return e.composeRows(rw, all, "svpfold")
+		return e.composeRows(ctx, rw, all, "svpfold")
 	}
 	type grp struct{ row sqltypes.Row }
 	buckets := map[uint64][]*grp{}
 	var order []*grp
+	seen := 0
 	for _, p := range partials {
 		for _, row := range p.Rows {
+			if seen++; seen%ctxCheckRows == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if len(row) != nG+nAgg {
 				return nil, fmt.Errorf("composer: partial row width %d, want %d", len(row), nG+nAgg)
 			}
@@ -64,16 +82,35 @@ func (e *Engine) composeStreaming(rw *Rewrite, partials []*engine.Result) (*engi
 	}
 	// A scalar-aggregate query with no matching rows anywhere still
 	// produces its single empty-aggregate row in the final projection.
-	return e.composeRows(rw, folded, "svpfold")
+	return e.composeRows(ctx, rw, folded, "svpfold")
 }
 
 // composeRows loads rows into the composition database and runs the
-// composition query over them.
-func (e *Engine) composeRows(rw *Rewrite, rows []sqltypes.Row, prefix string) (*engine.Result, error) {
-	name, err := e.mem.LoadResult(prefix, rw.PartialCols, rows)
+// composition query over them, honouring ctx between chunks.
+func (e *Engine) composeRows(ctx context.Context, rw *Rewrite, rows []sqltypes.Row, prefix string) (*engine.Result, error) {
+	ld := e.mem.NewLoader(prefix, rw.PartialCols)
+	for len(rows) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chunk := rows
+		if len(chunk) > ctxCheckRows {
+			chunk = chunk[:ctxCheckRows]
+		}
+		if err := ld.Append(chunk); err != nil {
+			return nil, fmt.Errorf("composer: %w", err)
+		}
+		rows = rows[len(chunk):]
+	}
+	name, err := ld.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("composer: %w", err)
 	}
+	return e.composeLoaded(rw, name)
+}
+
+// composeLoaded runs the composition query over an already-loaded table.
+func (e *Engine) composeLoaded(rw *Rewrite, name string) (*engine.Result, error) {
 	compose := sql.CloneSelect(rw.Compose)
 	compose.From[0].Name = name
 	res, err := e.mem.QueryStmt(compose)

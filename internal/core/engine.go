@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"apuama/internal/cluster"
@@ -65,6 +66,11 @@ type Options struct {
 	// streaming merger instead of the memdb (HSQLDB-equivalent) route —
 	// an ablation of the paper's composer choice.
 	StreamCompose bool
+	// GatherBudget bounds the in-flight partial-result batches buffered
+	// between the node streams and the composer, per partition: fast
+	// producers block once the gather channel holds GatherBudget × nodes
+	// undelivered batches (backpressure). Default 8.
+	GatherBudget int
 
 	// QueryTimeout is the per-query deadline applied by RunSVP when the
 	// caller's context carries none. Zero disables the default deadline.
@@ -105,6 +111,9 @@ const (
 	// minHedgeDelay floors the straggler threshold so sub-millisecond
 	// in-process queries never trigger spurious hedges.
 	minHedgeDelay = 10 * time.Millisecond
+	// defaultGatherBudget is the per-partition in-flight batch bound of
+	// the streaming gather (Options.GatherBudget).
+	defaultGatherBudget = 8
 )
 
 // Engine is the Apuama Engine: the Cluster Administrator of Fig. 1(b).
@@ -140,6 +149,9 @@ type Stats struct {
 	HedgesWon            int64 // hedges that answered before the original
 	HedgesLost           int64 // hedges beaten by the original
 	DeadlineAborts       int64 // SVP queries abandoned at their deadline
+	StreamedBatches      int64 // partial batches streamed into the composer
+	StreamedRows         int64 // partial rows streamed into the composer
+	LimitShortCircuits   int64 // gathers stopped early by a settled pushed-down LIMIT
 	BarrierWaits         time.Duration
 	// FallbackReasons buckets SVP-ineligible queries by stable reason
 	// class (see FallbackClass), keeping cardinality bounded.
@@ -162,6 +174,9 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 	}
 	if opts.HedgeMultiplier == 0 {
 		opts.HedgeMultiplier = defaultHedgeMultiplier
+	}
+	if opts.GatherBudget <= 0 {
+		opts.GatherBudget = defaultGatherBudget
 	}
 	e := &Engine{
 		db:      db,
@@ -280,18 +295,19 @@ func (e *Engine) countFallback(err error) {
 	e.m.reg.Counter(obs.Labeled(obs.MFallbacks, "reason", class)).Inc()
 }
 
-// partial is one sub-query attempt's outcome reaching the gather loop.
-type partial struct {
-	idx   int
-	res   *engine.Result
-	err   error
-	hedge bool
-}
-
 // RunSVP executes one query with Simple Virtual Partitioning: plan the
 // rewrite, run the consistency barrier, dispatch one sub-query per node
 // pinned to the common snapshot, and compose the partial results.
 // ErrNotEligible means the caller should fall back to pass-through.
+//
+// Sub-query results stream batch-at-a-time into the composer: the
+// gather loop forwards each arriving batch to a composeSink (see
+// gather.go), so memdb inserts / aggregate folding begin on the first
+// batch instead of after the last partition, bounded by
+// Options.GatherBudget in-flight batches per partition. Partition-order
+// float composition is preserved by the sinks. A pushed-down LIMIT with
+// no global ordering lets the gather cancel the remaining sub-queries
+// once the committed partition prefix already holds k rows.
 //
 // Resilience (beyond the paper): the query runs under ctx, bounded by
 // Options.QueryTimeout when ctx has no deadline of its own; transient
@@ -300,6 +316,9 @@ type partial struct {
 // nodes; and stragglers past HedgeMultiplier × the median completion
 // time are hedged on the least-loaded live node, first answer winning
 // (safe because every attempt reads the same pinned MVCC snapshot).
+// Attempts are identity-tagged, so the sink can discard a partially
+// streamed attempt that fails or loses its hedge race after delivering
+// batches.
 func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Result, error) {
 	if e.opts.QueryTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -373,47 +392,77 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 		return e.runAVP(ctx, procs, rw, snapshot, lo, hi)
 	}
 
-	// Each worker owns one partition and sends exactly one partial: it
+	// workCtx cancels every in-flight sub-query stream the moment the
+	// gather ends — error, deadline, or a settled LIMIT. Without it,
+	// workers could block forever sending into a full gather channel
+	// nobody reads anymore.
+	workCtx, cancelWork := context.WithCancel(ctx)
+	defer cancelWork()
+
+	// Each worker owns one partition and streams its rows batch-by-batch
+	// into the gather channel, ending each attempt with a fin message; it
 	// retries transient errors in place and fails over a dead node's
-	// partition to the next untried live node internally. Hedges add at
-	// most one extra worker per partition, so 2n bounds the sends; the
-	// buffer lets late losers exit without a reader.
-	results := make(chan partial, 4*n)
+	// partition to the next untried live node internally (announcing the
+	// abandoned attempt so the sink can drop its rows). Hedges add at
+	// most one extra worker per partition. The channel bound is the
+	// backpressure budget: producers ahead of the composer block here.
+	msgs := make(chan gatherMsg, e.opts.GatherBudget*n)
+	var attemptSeq atomic.Int64
 	cfg := e.net.Config()
+	send := func(m gatherMsg) bool {
+		select {
+		case msgs <- m:
+			return true
+		case <-workCtx.Done():
+			if m.batch != nil {
+				sqltypes.PutBatch(m.batch)
+			}
+			return false
+		}
+	}
 	dispatch := func(p *NodeProcessor, idx int, sub *sql.SelectStmt, hedge bool) {
 		go func() {
 			tried := map[*NodeProcessor]bool{p: true}
 			backoff := e.opts.RetryBackoff
 			retries := 0
-			attempt := 0
+			try := 0
 			for {
 				// Dispatch messages travel in parallel; charge each
 				// node's own meter with the middleware->node round trip.
-				attempt++
+				try++
+				attempt := attemptSeq.Add(1)
 				sq := qspan.Child("subquery")
 				sq.Annotate("partition", strconv.Itoa(idx))
 				sq.Annotate("node", strconv.Itoa(p.Node().ID()))
-				sq.Annotate("attempt", strconv.Itoa(attempt))
+				sq.Annotate("attempt", strconv.Itoa(try))
 				if hedge {
 					sq.Annotate("hedged", "true")
 				}
 				p.Node().Meter().Charge(cfg.NetMessage)
 				t0 := time.Now()
-				res, qerr := p.QueryAt(ctx, sub, snapshot, e.opts.ForceIndexScan)
+				qerr := p.StreamAt(workCtx, sub, snapshot, e.opts.ForceIndexScan, func(b *sqltypes.Batch) error {
+					if !send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, batch: b}) {
+						return workCtx.Err()
+					}
+					return nil
+				})
 				e.m.subqueryDur.Observe(time.Since(t0))
 				if qerr != nil {
 					sq.Annotate("error", qerr.Error())
 				}
 				sq.End()
 				if qerr == nil {
-					results <- partial{idx: idx, res: res, hedge: hedge}
+					send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true})
 					return
 				}
 				if errors.Is(qerr, cluster.ErrTransient) && retries < e.opts.RetryLimit {
 					retries++
 					e.st.backoffRetries.Inc()
-					if sleepCtx(ctx, backoff) != nil {
-						results <- partial{idx: idx, err: ctx.Err(), hedge: hedge}
+					if !send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: qerr, retry: true}) {
+						return
+					}
+					if sleepCtx(workCtx, backoff) != nil {
+						send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: workCtx.Err()})
 						return
 					}
 					backoff = capDur(backoff*2, maxRetryBackoff)
@@ -427,11 +476,14 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 						backoff = e.opts.RetryBackoff
 						e.st.subQueries.Inc()
 						e.st.subQueryRetries.Inc()
+						if !send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: qerr, retry: true}) {
+							return
+						}
 						continue
 					}
 					qerr = fmt.Errorf("no live node left for partition %d: %w", idx, qerr)
 				}
-				results <- partial{idx: idx, err: qerr, hedge: hedge}
+				send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: qerr})
 				return
 			}
 		}()
@@ -456,22 +508,30 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	// Gather with straggler hedging: once a majority of partitions has
 	// answered, pending partitions past HedgeMultiplier × the median
 	// completion time are speculatively re-dispatched on the least-loaded
-	// live node; the first answer per partition wins.
-	// Partials are composed in partition order, not arrival order:
-	// floating-point aggregates are not associative, so arrival-order
-	// composition would make the answer depend on which replica was
-	// slow or hedged.
-	var rows int64
-	partials := make([]*engine.Result, n)
+	// live node; the first finished attempt per partition wins.
+	// Batches feed the composer sink as they arrive, but commits happen
+	// in partition order inside the sink: floating-point aggregates are
+	// not associative, so arrival-order composition would make the
+	// answer depend on which replica was slow or hedged.
+	sink := e.newComposeSink(rw, n)
+	var totalRows int64
 	var firstErr error
 	done := make([]bool, n)
+	doneRows := make([]int64, n)
 	hedged := make([]bool, n)
 	inflight := make([]int, n)
 	for i := range inflight {
 		inflight[i] = 1
 	}
+	rowsByAttempt := map[int64]int64{}
 	var completions []time.Duration
 	completed := 0
+	settled := false
+	sawFirstBatch := false
+	// A pushed-down LIMIT with no global ordering or DISTINCT is settled
+	// as soon as the committed partition prefix holds k rows: composition
+	// takes the leading rows in partition order, all already gathered.
+	earlyStop := rw.PushedLimit > 0 && len(rw.Compose.OrderBy) == 0 && !rw.Compose.Distinct
 	gatherSpan := qspan.Child("gather")
 	gatherStart := time.Now()
 	// End() keeps the first duration, so the success path's explicit End
@@ -489,44 +549,97 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	}
 	defer stopHedge()
 	// Exit as soon as every partition has an answer: a hedge win must not
-	// wait for the straggling twin, which drains into the buffered channel
-	// on its own time (and is released early by the deferred cancel when a
-	// QueryTimeout is set).
+	// wait for the straggling twin, whose remaining sends are released by
+	// the deferred cancelWork.
+	sinkErr := func(err error) error {
+		return fmt.Errorf("composer: %w", err)
+	}
+gather:
 	for outstanding := n; completed < n && outstanding > 0; {
 		select {
-		case pr := <-results:
-			outstanding--
-			inflight[pr.idx]--
-			if done[pr.idx] {
-				// A duplicate answer for a hedged partition: the earlier
-				// arrival already won this race.
-				continue
-			}
-			if pr.err != nil {
-				if inflight[pr.idx] > 0 {
+		case m := <-msgs:
+			switch {
+			case m.batch != nil:
+				if done[m.idx] {
+					// Rows from a hedge twin that already lost its race.
+					sqltypes.PutBatch(m.batch)
+					continue
+				}
+				if !sawFirstBatch {
+					sawFirstBatch = true
+					d := time.Since(gatherStart)
+					e.m.firstBatch.Observe(d)
+					gatherSpan.Annotate("first_batch", d.String())
+				}
+				nb := int64(m.batch.Len())
+				e.st.streamedBatches.Inc()
+				e.st.streamedRows.Add(nb)
+				rowsByAttempt[m.attempt] += nb
+				if err := sink.observe(m.idx, m.attempt, m.batch); err != nil {
+					return nil, sinkErr(err)
+				}
+			case m.retry:
+				// The worker abandoned this attempt and is retrying or
+				// failing over: drop its rows, no completion accounting.
+				if err := sink.abort(m.idx, m.attempt); err != nil {
+					return nil, sinkErr(err)
+				}
+				delete(rowsByAttempt, m.attempt)
+			case m.err != nil:
+				outstanding--
+				inflight[m.idx]--
+				if err := sink.abort(m.idx, m.attempt); err != nil {
+					return nil, sinkErr(err)
+				}
+				delete(rowsByAttempt, m.attempt)
+				if done[m.idx] {
+					continue
+				}
+				if inflight[m.idx] > 0 {
 					continue // a twin attempt is still running
 				}
 				if firstErr == nil {
-					firstErr = pr.err
+					firstErr = m.err
 				}
-				continue
-			}
-			done[pr.idx] = true
-			if hedged[pr.idx] {
-				if pr.hedge {
-					e.st.hedgesWon.Inc()
-				} else {
-					e.st.hedgesLost.Inc()
+			default: // fin: the attempt completed
+				outstanding--
+				inflight[m.idx]--
+				if done[m.idx] {
+					// A duplicate answer for a hedged partition: the
+					// earlier arrival already won this race.
+					if err := sink.abort(m.idx, m.attempt); err != nil {
+						return nil, sinkErr(err)
+					}
+					delete(rowsByAttempt, m.attempt)
+					continue
 				}
-			}
-			completed++
-			completions = append(completions, time.Since(start))
-			rows += int64(len(pr.res.Rows))
-			partials[pr.idx] = pr.res
-			if !e.opts.DisableHedging && hedgeTimer == nil && completed >= (n+1)/2 && completed < n {
-				threshold := hedgeThreshold(completions, e.opts.HedgeMultiplier)
-				hedgeTimer = time.NewTimer(time.Until(start.Add(threshold)))
-				hedgeC = hedgeTimer.C
+				done[m.idx] = true
+				if hedged[m.idx] {
+					if m.hedge {
+						e.st.hedgesWon.Inc()
+					} else {
+						e.st.hedgesLost.Inc()
+					}
+				}
+				completed++
+				completions = append(completions, time.Since(start))
+				doneRows[m.idx] = rowsByAttempt[m.attempt]
+				totalRows += doneRows[m.idx]
+				delete(rowsByAttempt, m.attempt)
+				if err := sink.commit(m.idx, m.attempt); err != nil {
+					return nil, sinkErr(err)
+				}
+				if earlyStop && prefixHolds(done, doneRows, rw.PushedLimit) {
+					settled = true
+					e.st.limitShortCircuits.Inc()
+					cancelWork()
+					break gather
+				}
+				if !e.opts.DisableHedging && hedgeTimer == nil && completed >= (n+1)/2 && completed < n {
+					threshold := hedgeThreshold(completions, e.opts.HedgeMultiplier)
+					hedgeTimer = time.NewTimer(time.Until(start.Add(threshold)))
+					hedgeC = hedgeTimer.C
+				}
 			}
 		case <-hedgeC:
 			hedgeTimer = nil
@@ -547,13 +660,13 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 				dispatch(alt, i, subs[i], true)
 			}
 		case <-ctx.Done():
-			// Abandon the gather: workers notice ctx themselves and
-			// drain into the buffered channel.
+			// Abandon the gather: the deferred cancelWork releases the
+			// workers' pending sends.
 			e.st.deadlineAborts.Inc()
 			return nil, fmt.Errorf("query abandoned at deadline: %w", ctx.Err())
 		}
 	}
-	if completed < n {
+	if !settled && completed < n {
 		if firstErr == nil {
 			firstErr = ctx.Err()
 		}
@@ -565,26 +678,71 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	}
 	gatherSpan.End()
 	e.m.gather.Observe(time.Since(gatherStart))
-	e.net.Charge(time.Duration(rows) * cfg.NetPerRow)
+	e.net.Charge(time.Duration(totalRows) * cfg.NetPerRow)
 	e.net.Flush()
-	e.st.composedRows.Add(rows)
+	e.st.composedRows.Add(totalRows)
+	e.mirrorBatchPool()
 
-	return e.compose(ctx, rw, partials)
+	span := qspan.Child("compose")
+	t0 := time.Now()
+	res, err := sink.finish(ctx)
+	e.m.compose.Observe(time.Since(t0))
+	if err != nil {
+		span.Annotate("error", err.Error())
+		span.End()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			e.st.deadlineAborts.Inc()
+			return nil, fmt.Errorf("query abandoned at deadline: %w", err)
+		}
+		return nil, err
+	}
+	span.End()
+	return res, nil
 }
 
-// compose runs the configured result composer under a timed span.
+// prefixHolds reports whether the committed prefix of partitions already
+// holds at least k rows (the early-stop condition of a pushed-down LIMIT).
+func prefixHolds(done []bool, rows []int64, k int64) bool {
+	var sum int64
+	for i := range done {
+		if !done[i] {
+			return false
+		}
+		sum += rows[i]
+		if sum >= k {
+			return true
+		}
+	}
+	return false
+}
+
+// mirrorBatchPool publishes the process-wide batch-pool counters (the
+// pool hit rate is (gets-misses)/gets).
+func (e *Engine) mirrorBatchPool() {
+	gets, misses := sqltypes.BatchPoolStats()
+	e.m.poolGets.Set(gets)
+	e.m.poolMisses.Set(misses)
+}
+
+// compose runs the configured materialized composer under a timed span —
+// the AVP path, which gathers whole partials. The SVP gather composes
+// through a composeSink instead. A context-cancelled composition counts
+// as a deadline abort.
 func (e *Engine) compose(ctx context.Context, rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
 	span := obs.SpanFrom(ctx).Child("compose")
 	t0 := time.Now()
 	var res *engine.Result
 	var err error
 	if e.opts.StreamCompose {
-		res, err = e.composeStreaming(rw, partials)
+		res, err = e.composeStreaming(ctx, rw, partials)
 	} else {
-		res, err = e.composeMemDB(rw, partials)
+		res, err = e.composeMemDB(ctx, rw, partials)
 	}
 	e.m.compose.Observe(time.Since(t0))
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			e.st.deadlineAborts.Inc()
+		}
 		span.Annotate("error", err.Error())
 	}
 	span.End()
@@ -606,13 +764,17 @@ func hedgeThreshold(completions []time.Duration, mult float64) time.Duration {
 }
 
 // composeMemDB is the paper's route: load every partial row into the
-// in-memory DBMS and run the composition query there.
-func (e *Engine) composeMemDB(rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
+// in-memory DBMS and run the composition query there. Abandons the load
+// when ctx ends mid-merge.
+func (e *Engine) composeMemDB(ctx context.Context, rw *Rewrite, partials []*engine.Result) (*engine.Result, error) {
 	var all []sqltypes.Row
 	for _, p := range partials {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		all = append(all, p.Rows...)
 	}
-	return e.composeRows(rw, all, "svp")
+	return e.composeRows(ctx, rw, all, "svp")
 }
 
 // awaitFreshness waits until replica divergence is within the staleness

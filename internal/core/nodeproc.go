@@ -11,6 +11,7 @@ import (
 	"apuama/internal/fault"
 	"apuama/internal/obs"
 	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
 )
 
 // NodeProcessor mediates all requests to one node engine, exactly like
@@ -202,6 +203,50 @@ func (p *NodeProcessor) QueryAt(ctx context.Context, stmt *sql.SelectStmt, snaps
 		return nil, qerr
 	}
 	return res, nil
+}
+
+// StreamAt runs a parsed sub-query pinned to the barrier snapshot and
+// delivers the result batch-at-a-time through sink instead of
+// materializing it. The pooled connection is held for the whole stream.
+// Each delivered batch is owned by the sink (which must return it to the
+// batch pool when done); a non-nil sink error aborts the stream.
+//
+// Fault semantics match QueryAt: the injector's after-hook fires when
+// the operation ends, so a scripted failure can surface after batches
+// have already been delivered — callers must be prepared to discard a
+// partially streamed attempt.
+func (p *NodeProcessor) StreamAt(ctx context.Context, stmt *sql.SelectStmt, snapshot int64, forceIndex bool, sink func(*sqltypes.Batch) error) error {
+	after, err := p.begin(ctx)
+	if err != nil {
+		return err
+	}
+	release, err := p.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	cur, qerr := p.node.OpenQueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex})
+	if qerr == nil {
+		for {
+			b := sqltypes.GetBatch()
+			if qerr = cur.Next(b); qerr != nil {
+				sqltypes.PutBatch(b)
+				break
+			}
+			if b.Len() == 0 {
+				sqltypes.PutBatch(b)
+				break
+			}
+			if qerr = sink(b); qerr != nil {
+				break
+			}
+		}
+		cur.Close()
+	}
+	if after != nil {
+		qerr = after(qerr)
+	}
+	return qerr
 }
 
 // ApplyWrite forwards a middleware-ordered write. A crash-mid-query

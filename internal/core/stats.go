@@ -46,6 +46,10 @@ type engineStats struct {
 	hedgesLost      statCounter
 	deadlineAborts  statCounter
 
+	streamedBatches    statCounter
+	streamedRows       statCounter
+	limitShortCircuits statCounter
+
 	maxStaleness atomic.Int64
 	barrierWait  atomic.Int64 // nanoseconds
 
@@ -69,6 +73,9 @@ func (st *engineStats) wire(reg *obs.Registry) {
 	st.hedgesWon.m = reg.Counter(obs.MHedgesWon)
 	st.hedgesLost.m = reg.Counter(obs.MHedgesLost)
 	st.deadlineAborts.m = reg.Counter(obs.MDeadlineAborts)
+	st.streamedBatches.m = reg.Counter(obs.MGatherBatches)
+	st.streamedRows.m = reg.Counter(obs.MGatherRows)
+	st.limitShortCircuits.m = reg.Counter(obs.MLimitShortCircuit)
 }
 
 // observeStaleness records a freshness-mode read d writes behind the
@@ -98,6 +105,9 @@ func (st *engineStats) snapshot() Stats {
 		HedgesWon:            st.hedgesWon.Load(),
 		HedgesLost:           st.hedgesLost.Load(),
 		DeadlineAborts:       st.deadlineAborts.Load(),
+		StreamedBatches:      st.streamedBatches.Load(),
+		StreamedRows:         st.streamedRows.Load(),
+		LimitShortCircuits:   st.limitShortCircuits.Load(),
 		BarrierWaits:         time.Duration(st.barrierWait.Load()),
 		FallbackReasons:      map[string]int64{},
 	}
@@ -116,8 +126,11 @@ type engineMetrics struct {
 	barrierWait *obs.Histogram
 	dispatch    *obs.Histogram
 	gather      *obs.Histogram
+	firstBatch  *obs.Histogram
 	compose     *obs.Histogram
 	subqueryDur *obs.Histogram
+	poolGets    *obs.Gauge
+	poolMisses  *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
@@ -126,7 +139,10 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 		barrierWait: reg.Histogram(obs.MBarrierWait),
 		dispatch:    reg.Histogram(obs.MDispatch),
 		gather:      reg.Histogram(obs.MGather),
+		firstBatch:  reg.Histogram(obs.MGatherFirstBatch),
 		compose:     reg.Histogram(obs.MCompose),
 		subqueryDur: reg.Histogram(obs.MSubqueryDuration),
+		poolGets:    reg.Gauge(obs.MBatchPoolGets),
+		poolMisses:  reg.Gauge(obs.MBatchPoolMisses),
 	}
 }

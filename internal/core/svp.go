@@ -85,6 +85,13 @@ type Rewrite struct {
 	// projection, the fold that merges values across partials
 	// ("sum", "min" or "max"). Used by the streaming composer ablation.
 	ComposeOps []string
+	// PushedLimit is the LIMIT bound pushed down into each partial
+	// sub-query (plain rewrites only; 0 = none). The partial keeps the
+	// original ORDER BY and DISTINCT, so the union of per-partition
+	// first-k sets always contains the global first-k; composition still
+	// applies the global LIMIT. With no global ordering the gather may
+	// also stop early once the committed partition prefix holds k rows.
+	PushedLimit int64
 }
 
 // VPRef is one table reference to constrain with a range predicate.
@@ -287,6 +294,21 @@ func buildPlainRewrite(stmt *sql.SelectStmt, refs []VPRef, vpTable string) (*Rew
 		cols[i] = fmt.Sprintf("p%d", i)
 		partial.Items[i].Alias = cols[i]
 	}
+	var pushed int64
+	if stmt.Limit != nil && *stmt.Limit >= 0 {
+		// LIMIT pushdown: each partition needs at most the first k rows
+		// of its own range (under the original ordering), because the
+		// global first-k is contained in the union of per-partition
+		// first-k sets. The partial's ORDER BY keys are rewritten to the
+		// pN aliases; if a key cannot be mapped the whole query is
+		// ineligible anyway (the compose-side rewriteOrderBy below fails
+		// with the same reason), so pushdown is simply skipped here.
+		if po, err := rewriteOrderBy(stmt, cols); err == nil {
+			partial.OrderBy = po
+			partial.Limit = cloneLimit(stmt.Limit)
+			pushed = *stmt.Limit
+		}
+	}
 	compose := &sql.SelectStmt{
 		Distinct: stmt.Distinct,
 		From:     []sql.TableRef{{Name: ComposeFrom}},
@@ -303,7 +325,10 @@ func buildPlainRewrite(stmt *sql.SelectStmt, refs []VPRef, vpTable string) (*Rew
 	if err != nil {
 		return nil, err
 	}
-	return &Rewrite{Partial: partial, PartialCols: cols, VPRefs: refs, Compose: compose, Table: vpTable}, nil
+	return &Rewrite{
+		Partial: partial, PartialCols: cols, VPRefs: refs, Compose: compose,
+		Table: vpTable, PushedLimit: pushed,
+	}, nil
 }
 
 // buildAggRewrite decomposes aggregates: the partial query groups as the

@@ -16,7 +16,6 @@ import (
 	"database/sql/driver"
 	"errors"
 	"fmt"
-	"io"
 	"time"
 
 	"apuama/internal/sqltypes"
@@ -83,11 +82,11 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if len(args) > 0 {
 		return nil, errors.New("apuama: bind arguments are not supported")
 	}
-	res, err := s.c.Query(s.query)
+	rd, err := s.c.QueryStream(s.query)
 	if err != nil {
 		return nil, err
 	}
-	return &rows{cols: res.Cols, rows: res.Rows}, nil
+	return &rows{rd: rd}, nil
 }
 
 type result struct{ n int64 }
@@ -97,21 +96,22 @@ func (r result) LastInsertId() (int64, error) {
 }
 func (r result) RowsAffected() (int64, error) { return r.n, nil }
 
+// rows adapts a wire cursor to driver.Rows: each Next decodes at most
+// one chunk frame from the socket, so large results stream instead of
+// being materialized client-side. database/sql keeps the connection
+// checked out until Close, which drains the cursor and frees it.
 type rows struct {
-	cols []string
-	rows []sqltypes.Row
-	pos  int
+	rd *wire.RowReader
 }
 
-func (r *rows) Columns() []string { return r.cols }
-func (r *rows) Close() error      { return nil }
+func (r *rows) Columns() []string { return r.rd.Cols() }
+func (r *rows) Close() error      { return r.rd.Close() }
 
 func (r *rows) Next(dest []driver.Value) error {
-	if r.pos >= len(r.rows) {
-		return io.EOF
+	row, err := r.rd.Next()
+	if err != nil {
+		return err // io.EOF at end of stream
 	}
-	row := r.rows[r.pos]
-	r.pos++
 	for i, v := range row {
 		dv, err := toDriverValue(v)
 		if err != nil {

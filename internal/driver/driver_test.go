@@ -79,6 +79,62 @@ func TestDatabaseSQLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStreamingCursorThroughDriver walks a result far larger than one
+// chunk frame, then abandons a second cursor early — the drained
+// connection must serve the follow-up query correctly.
+func TestStreamingCursorThroughDriver(t *testing.T) {
+	addr := startCluster(t)
+	db, err := sql.Open("apuama", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetMaxOpenConns(1) // force cursor and follow-up onto one conn
+
+	var want int64
+	if err := db.QueryRow("select count(*) from lineitem").Scan(&want); err != nil {
+		t.Fatal(err)
+	}
+	if want <= wire.DefaultChunkRows {
+		t.Fatalf("lineitem too small to span chunks: %d rows", want)
+	}
+	rows, err := db.Query("select l_orderkey from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for rows.Next() {
+		var k int64
+		if err := rows.Scan(&k); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if n != want {
+		t.Fatalf("streamed %d rows, want %d", n, want)
+	}
+
+	rows, err = db.Query("select l_orderkey from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	rows.Close() // abandon mid-stream; driver must drain the frames
+	var cnt int64
+	if err := db.QueryRow("select count(*) from orders").Scan(&cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 1500 {
+		t.Fatalf("follow-up after abandoned cursor: %d", cnt)
+	}
+}
+
 func TestExecThroughDriver(t *testing.T) {
 	addr := startCluster(t)
 	db, err := sql.Open("apuama", addr)

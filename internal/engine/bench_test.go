@@ -108,6 +108,63 @@ func BenchmarkPlanOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkFirstBatch measures time-to-first-batch through the
+// streaming cursor — the latency a client sees before the first rows
+// arrive, independent of total result size.
+func BenchmarkFirstBatch(b *testing.B) {
+	nd := benchDB(b, 5000, 2)
+	stmt := mustSelectB(b, "select ok, ln, price from items where price > 100")
+	wm := nd.Watermark()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := nd.OpenQueryStmtAt(stmt, wm, QueryOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := sqltypes.GetBatch()
+		if err := cur.Next(batch); err != nil {
+			b.Fatal(err)
+		}
+		if batch.Len() == 0 {
+			b.Fatal("empty first batch")
+		}
+		sqltypes.PutBatch(batch)
+		cur.Close()
+	}
+}
+
+// BenchmarkScanAllocsQ6 is the Q6-shaped allocation benchmark: filtered
+// sequential scan into an ungrouped aggregate. Run with -benchmem; the
+// allocs/op figure divided by ~10k input rows is the allocs/row the
+// regression test pins.
+func BenchmarkScanAllocsQ6(b *testing.B) {
+	nd := benchDB(b, 5000, 2)
+	stmt := mustSelectB(b, "select sum(price * qty) from items where price > 100 and qty < 3")
+	wm := nd.Watermark()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.QueryStmtAt(stmt, wm, QueryOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggAllocsQ1 is the Q1-shaped allocation benchmark: grouped
+// aggregation with several aggregate expressions over a full scan.
+func BenchmarkAggAllocsQ1(b *testing.B) {
+	nd := benchDB(b, 5000, 2)
+	stmt := mustSelectB(b, "select tag, count(*), sum(price), avg(qty) from items group by tag")
+	wm := nd.Watermark()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.QueryStmtAt(stmt, wm, QueryOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkApplyWriteDelete(b *testing.B) {
 	nd := benchDB(b, b.N+10, 1)
 	b.ResetTimer()

@@ -304,21 +304,26 @@ func (s *subplan) run(ec *evalCtx, maxRows int) ([]sqltypes.Row, error) {
 		}
 		params[i] = v
 	}
-	sub := &execCtx{node: ec.ex.node, snapshot: ec.ex.snapshot, params: params}
+	sub := &execCtx{node: ec.ex.node, snapshot: ec.ex.snapshot, params: params, batchCap: ec.ex.batchCap}
 	if err := s.root.open(sub); err != nil {
 		return nil, err
 	}
 	defer s.root.close()
+	b := sqltypes.GetBatch()
+	defer sqltypes.PutBatch(b)
 	var rows []sqltypes.Row
 	for maxRows < 0 || len(rows) < maxRows {
-		row, err := s.root.next(sub)
-		if err != nil {
+		b.Reset()
+		if err := s.root.next(sub, b); err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if b.Len() == 0 {
 			break
 		}
-		rows = append(rows, row)
+		rows = append(rows, b.Rows...)
+	}
+	if maxRows >= 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
 	}
 	return rows, nil
 }

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -14,21 +13,82 @@ type execCtx struct {
 	node     *Node
 	snapshot int64
 	params   []sqltypes.Value
+
+	// batchCap overrides the capacity of operator-internal batches
+	// (0 = sqltypes.DefaultBatchCapacity). The batch-size property tests
+	// shrink it to 1/2/7 to flush out batch-boundary bugs.
+	batchCap int
 }
 
-// op is a volcano-style operator: open, a stream of next calls (nil row
-// signals end of stream), close.
+// op is a vectorized volcano-style operator: open, a stream of next
+// calls that each fill a caller-provided batch, close.
+//
+// Batch contract: the caller passes a Reset (empty) batch; the operator
+// appends rows until the batch is full or its input is exhausted. A
+// batch left empty after next returns signals end of stream. Operators
+// must never return an empty batch before end of stream (a filter that
+// matched nothing keeps pulling), and must tolerate next calls after
+// end of stream by returning an empty batch again. Appended rows
+// reference stable storage and stay valid after the batch is reused.
 type op interface {
 	open(ex *execCtx) error
-	next(ex *execCtx) (sqltypes.Row, error)
+	next(ex *execCtx, out *sqltypes.Batch) error
 	close()
+}
+
+// childStream adapts a batch-producing child for operators that consume
+// rows one at a time (filters, probes, materializing drains). The
+// refill is per batch, so the per-row cost is a bounds check.
+type childStream struct {
+	buf *sqltypes.Batch
+	pos int
+}
+
+func (cs *childStream) open(ex *execCtx) {
+	if cs.buf == nil {
+		if ex.batchCap > 0 {
+			cs.buf = sqltypes.NewBatch(ex.batchCap)
+		} else {
+			cs.buf = sqltypes.GetBatch()
+		}
+	}
+	cs.buf.Reset()
+	cs.pos = 0
+}
+
+func (cs *childStream) close() {
+	if cs.buf != nil {
+		sqltypes.PutBatch(cs.buf)
+		cs.buf = nil
+	}
+}
+
+// nextRow returns the next row from src, refilling the internal batch
+// as needed. A nil row signals end of stream.
+func (cs *childStream) nextRow(src op, ex *execCtx) (sqltypes.Row, error) {
+	for cs.pos >= cs.buf.Len() {
+		cs.buf.Reset()
+		cs.pos = 0
+		if err := src.next(ex, cs.buf); err != nil {
+			return nil, err
+		}
+		if cs.buf.Len() == 0 {
+			return nil, nil
+		}
+	}
+	r := cs.buf.Rows[cs.pos]
+	cs.pos++
+	return r, nil
 }
 
 // --- sequential scan ---
 
 // seqScanOp reads every heap page in order, applying MVCC visibility and
-// an optional filter. Every page access goes through the node's buffer
-// pool with sequential-read cost.
+// an optional filter, filling output batches directly from the pages.
+// Every page access goes through the node's buffer pool with
+// sequential-read cost. The scan holds no per-row state beyond the
+// page/slot position, so a filtered scan runs allocation-free: the one
+// evalCtx is reused across all rows.
 type seqScanOp struct {
 	rel    *storage.Relation
 	filter bexpr // may be nil
@@ -36,23 +96,28 @@ type seqScanOp struct {
 	pages []*storage.Page
 	pi    int
 	slot  int32
+	ec    evalCtx
 }
 
 func (s *seqScanOp) open(ex *execCtx) error {
 	s.pages = s.rel.PageSnapshot()
 	s.pi, s.slot = 0, 0
+	s.ec = evalCtx{ex: ex}
 	if s.pi < len(s.pages) {
 		ex.node.touchPage(s.pages[0].ID, true)
 	}
 	return nil
 }
 
-func (s *seqScanOp) next(ex *execCtx) (sqltypes.Row, error) {
+func (s *seqScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
 	cfg := ex.node.meter.Config()
 	for s.pi < len(s.pages) {
 		p := s.pages[s.pi]
 		n := int32(p.Count())
 		for s.slot < n {
+			if out.Full() {
+				return nil
+			}
 			slot := s.slot
 			s.slot++
 			ex.node.meter.Charge(cfg.CPUTuple)
@@ -61,19 +126,20 @@ func (s *seqScanOp) next(ex *execCtx) (sqltypes.Row, error) {
 			}
 			row := p.Row(slot)
 			if s.filter != nil {
-				v, err := s.filter.eval(&evalCtx{ex: ex, row: row})
+				s.ec.row = row
+				v, err := s.filter.eval(&s.ec)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				keep, err := filterTrue(v)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !keep {
 					continue
 				}
 			}
-			return row, nil
+			out.Append(row)
 		}
 		s.pi++
 		s.slot = 0
@@ -82,7 +148,7 @@ func (s *seqScanOp) next(ex *execCtx) (sqltypes.Row, error) {
 			ex.node.meter.MaybeFlush()
 		}
 	}
-	return nil, nil
+	return nil
 }
 
 func (s *seqScanOp) close() { s.pages = nil }
@@ -104,16 +170,18 @@ type indexScanOp struct {
 	rids   []storage.RowID
 	pos    int
 	lastPg int64
+	ec     evalCtx
 }
 
 func (s *indexScanOp) open(ex *execCtx) error {
+	s.ec = evalCtx{ex: ex}
 	evalBound := func(bs []bexpr) (sqltypes.Row, error) {
 		if bs == nil {
 			return nil, nil
 		}
 		key := make(sqltypes.Row, len(bs))
 		for i, b := range bs {
-			v, err := b.eval(&evalCtx{ex: ex})
+			v, err := b.eval(&s.ec)
 			if err != nil {
 				return nil, err
 			}
@@ -143,9 +211,12 @@ func (s *indexScanOp) open(ex *execCtx) error {
 	return nil
 }
 
-func (s *indexScanOp) next(ex *execCtx) (sqltypes.Row, error) {
+func (s *indexScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
 	cfg := ex.node.meter.Config()
 	for s.pos < len(s.rids) {
+		if out.Full() {
+			return nil
+		}
 		rid := s.rids[s.pos]
 		s.pos++
 		p := s.rel.PageOf(rid)
@@ -163,21 +234,22 @@ func (s *indexScanOp) next(ex *execCtx) (sqltypes.Row, error) {
 		}
 		row := p.Row(rid.Slot)
 		if s.filter != nil {
-			v, err := s.filter.eval(&evalCtx{ex: ex, row: row})
+			s.ec.row = row
+			v, err := s.filter.eval(&s.ec)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			keep, err := filterTrue(v)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !keep {
 				continue
 			}
 		}
-		return row, nil
+		out.Append(row)
 	}
-	return nil, nil
+	return nil
 }
 
 func (s *indexScanOp) close() { s.rids = nil }
@@ -187,31 +259,46 @@ func (s *indexScanOp) close() { s.rids = nil }
 type filterOp struct {
 	child op
 	cond  bexpr
+
+	cs childStream
+	ec evalCtx
 }
 
-func (f *filterOp) open(ex *execCtx) error { return f.child.open(ex) }
+func (f *filterOp) open(ex *execCtx) error {
+	f.ec = evalCtx{ex: ex}
+	f.cs.open(ex)
+	return f.child.open(ex)
+}
 
-func (f *filterOp) next(ex *execCtx) (sqltypes.Row, error) {
-	for {
-		row, err := f.child.next(ex)
-		if err != nil || row == nil {
-			return nil, err
-		}
-		v, err := f.cond.eval(&evalCtx{ex: ex, row: row})
+func (f *filterOp) next(ex *execCtx, out *sqltypes.Batch) error {
+	for !out.Full() {
+		row, err := f.cs.nextRow(f.child, ex)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		f.ec.row = row
+		v, err := f.cond.eval(&f.ec)
+		if err != nil {
+			return err
 		}
 		keep, err := filterTrue(v)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if keep {
-			return row, nil
+			out.Append(row)
 		}
 	}
+	return nil
 }
 
-func (f *filterOp) close() { f.child.close() }
+func (f *filterOp) close() {
+	f.child.close()
+	f.cs.close()
+}
 
 // --- hash join ---
 
@@ -222,10 +309,12 @@ type hashJoinOp struct {
 	probe, build         op
 	probeKeys, buildKeys []bexpr
 
-	table   map[uint64][]sqltypes.Row // build rows with their key appended? no: key recomputed
+	table   map[uint64][]sqltypes.Row // hash -> build rows
 	keysOf  map[uint64][]sqltypes.Row // hash -> build keys, parallel to table
 	matches []sqltypes.Row            // pending matches for current probe row
 	current sqltypes.Row
+	cs      childStream
+	ec      evalCtx
 }
 
 func (j *hashJoinOp) open(ex *execCtx) error {
@@ -233,18 +322,24 @@ func (j *hashJoinOp) open(ex *execCtx) error {
 		return err
 	}
 	defer j.build.close()
+	j.ec = evalCtx{ex: ex}
 	j.table = map[uint64][]sqltypes.Row{}
 	j.keysOf = map[uint64][]sqltypes.Row{}
+	j.matches = nil
+	j.current = nil
 	cfg := ex.node.meter.Config()
+	var bs childStream
+	bs.open(ex)
+	defer bs.close()
 	for {
-		row, err := j.build.next(ex)
+		row, err := bs.nextRow(j.build, ex)
 		if err != nil {
 			return err
 		}
 		if row == nil {
 			break
 		}
-		key, null, err := evalKeys(ex, j.buildKeys, row)
+		key, null, err := evalKeys(&j.ec, j.buildKeys, row)
 		if err != nil {
 			return err
 		}
@@ -256,13 +351,15 @@ func (j *hashJoinOp) open(ex *execCtx) error {
 		j.keysOf[h] = append(j.keysOf[h], key)
 		ex.node.meter.Charge(cfg.CPUOperator)
 	}
+	j.cs.open(ex)
 	return j.probe.open(ex)
 }
 
-func evalKeys(ex *execCtx, keys []bexpr, row sqltypes.Row) (sqltypes.Row, bool, error) {
+func evalKeys(ec *evalCtx, keys []bexpr, row sqltypes.Row) (sqltypes.Row, bool, error) {
+	ec.row = row
 	out := make(sqltypes.Row, len(keys))
 	for i, k := range keys {
-		v, err := k.eval(&evalCtx{ex: ex, row: row})
+		v, err := k.eval(ec)
 		if err != nil {
 			return nil, false, err
 		}
@@ -274,25 +371,29 @@ func evalKeys(ex *execCtx, keys []bexpr, row sqltypes.Row) (sqltypes.Row, bool, 
 	return out, false, nil
 }
 
-func (j *hashJoinOp) next(ex *execCtx) (sqltypes.Row, error) {
+func (j *hashJoinOp) next(ex *execCtx, out *sqltypes.Batch) error {
 	cfg := ex.node.meter.Config()
-	for {
+	for !out.Full() {
 		if len(j.matches) > 0 {
 			b := j.matches[0]
 			j.matches = j.matches[1:]
-			out := make(sqltypes.Row, 0, len(j.current)+len(b))
-			out = append(out, j.current...)
-			out = append(out, b...)
-			return out, nil
+			joined := make(sqltypes.Row, 0, len(j.current)+len(b))
+			joined = append(joined, j.current...)
+			joined = append(joined, b...)
+			out.Append(joined)
+			continue
 		}
-		row, err := j.probe.next(ex)
-		if err != nil || row == nil {
-			return nil, err
+		row, err := j.cs.nextRow(j.probe, ex)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
 		}
 		ex.node.meter.Charge(cfg.CPUOperator)
-		key, null, err := evalKeys(ex, j.probeKeys, row)
+		key, null, err := evalKeys(&j.ec, j.probeKeys, row)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if null {
 			continue
@@ -311,10 +412,12 @@ func (j *hashJoinOp) next(ex *execCtx) (sqltypes.Row, error) {
 			}
 		}
 	}
+	return nil
 }
 
 func (j *hashJoinOp) close() {
 	j.probe.close()
+	j.cs.close()
 	j.table = nil
 	j.keysOf = nil
 }
@@ -328,6 +431,9 @@ type nestedLoopOp struct {
 	innerRows []sqltypes.Row
 	cur       sqltypes.Row
 	ii        int
+	scratch   sqltypes.Row
+	cs        childStream
+	ec        evalCtx
 }
 
 func (n *nestedLoopOp) open(ex *execCtx) error {
@@ -335,9 +441,13 @@ func (n *nestedLoopOp) open(ex *execCtx) error {
 		return err
 	}
 	defer n.inner.close()
+	n.ec = evalCtx{ex: ex}
 	n.innerRows = n.innerRows[:0]
+	var is childStream
+	is.open(ex)
+	defer is.close()
 	for {
-		row, err := n.inner.next(ex)
+		row, err := is.nextRow(n.inner, ex)
 		if err != nil {
 			return err
 		}
@@ -348,47 +458,55 @@ func (n *nestedLoopOp) open(ex *execCtx) error {
 	}
 	n.cur = nil
 	n.ii = 0
+	n.cs.open(ex)
 	return n.outer.open(ex)
 }
 
-func (n *nestedLoopOp) next(ex *execCtx) (sqltypes.Row, error) {
-	for {
+func (n *nestedLoopOp) next(ex *execCtx, out *sqltypes.Batch) error {
+	for !out.Full() {
 		if n.cur == nil {
-			row, err := n.outer.next(ex)
-			if err != nil || row == nil {
-				return nil, err
+			row, err := n.cs.nextRow(n.outer, ex)
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
 			}
 			n.cur = row
 			n.ii = 0
 		}
-		for n.ii < len(n.innerRows) {
+		for n.ii < len(n.innerRows) && !out.Full() {
 			b := n.innerRows[n.ii]
 			n.ii++
-			out := make(sqltypes.Row, 0, len(n.cur)+len(b))
-			out = append(out, n.cur...)
-			out = append(out, b...)
+			n.scratch = append(append(n.scratch[:0], n.cur...), b...)
 			if n.cond != nil {
-				v, err := n.cond.eval(&evalCtx{ex: ex, row: out})
+				n.ec.row = n.scratch
+				v, err := n.cond.eval(&n.ec)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				keep, err := filterTrue(v)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !keep {
 					continue
 				}
 			}
-			return out, nil
+			out.Append(n.scratch.Clone())
 		}
-		n.cur = nil
+		if n.ii >= len(n.innerRows) {
+			n.cur = nil
+		}
 	}
+	return nil
 }
 
 func (n *nestedLoopOp) close() {
 	n.outer.close()
+	n.cs.close()
 	n.innerRows = nil
+	n.scratch = nil
 }
 
 // --- projection ---
@@ -396,28 +514,44 @@ func (n *nestedLoopOp) close() {
 type projectOp struct {
 	child op
 	items []bexpr
+
+	cs childStream
+	ec evalCtx
 }
 
-func (p *projectOp) open(ex *execCtx) error { return p.child.open(ex) }
+func (p *projectOp) open(ex *execCtx) error {
+	p.ec = evalCtx{ex: ex}
+	p.cs.open(ex)
+	return p.child.open(ex)
+}
 
-func (p *projectOp) next(ex *execCtx) (sqltypes.Row, error) {
-	row, err := p.child.next(ex)
-	if err != nil || row == nil {
-		return nil, err
-	}
-	out := make(sqltypes.Row, len(p.items))
-	ec := &evalCtx{ex: ex, row: row}
-	for i, it := range p.items {
-		v, err := it.eval(ec)
+func (p *projectOp) next(ex *execCtx, out *sqltypes.Batch) error {
+	for !out.Full() {
+		row, err := p.cs.nextRow(p.child, ex)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[i] = v
+		if row == nil {
+			return nil
+		}
+		p.ec.row = row
+		projected := make(sqltypes.Row, len(p.items))
+		for i, it := range p.items {
+			v, err := it.eval(&p.ec)
+			if err != nil {
+				return err
+			}
+			projected[i] = v
+		}
+		out.Append(projected)
 	}
-	return out, nil
+	return nil
 }
 
-func (p *projectOp) close() { p.child.close() }
+func (p *projectOp) close() {
+	p.child.close()
+	p.cs.close()
+}
 
 // --- aggregation ---
 
@@ -502,14 +636,17 @@ func (st *aggState) result(def *aggDef) sqltypes.Value {
 
 // aggOp computes grouped aggregates. Output tuples are the group keys
 // followed by aggregate results, in definition order. With no GROUP BY it
-// emits exactly one row (SQL scalar-aggregate semantics).
+// emits exactly one row (SQL scalar-aggregate semantics). Group keys are
+// evaluated into a reused scratch row and only cloned when they start a
+// new group, so the ungrouped Q1/Q6 paths accumulate allocation-free.
 type aggOp struct {
 	child  op
 	groups []bexpr
 	aggs   []*aggDef
 
-	out []sqltypes.Row
-	pos int
+	out    []sqltypes.Row
+	pos    int
+	keybuf sqltypes.Row
 }
 
 type aggGroup struct {
@@ -525,18 +662,25 @@ func (a *aggOp) open(ex *execCtx) error {
 	cfg := ex.node.meter.Config()
 	buckets := map[uint64][]*aggGroup{}
 	var order []*aggGroup
+	ec := evalCtx{ex: ex}
+	var cs childStream
+	cs.open(ex)
+	defer cs.close()
+	if a.keybuf == nil {
+		a.keybuf = make(sqltypes.Row, len(a.groups))
+	}
 	for {
-		row, err := a.child.next(ex)
+		row, err := cs.nextRow(a.child, ex)
 		if err != nil {
 			return err
 		}
 		if row == nil {
 			break
 		}
-		ec := &evalCtx{ex: ex, row: row}
-		keys := make(sqltypes.Row, len(a.groups))
+		ec.row = row
+		keys := a.keybuf
 		for i, g := range a.groups {
-			v, err := g.eval(ec)
+			v, err := g.eval(&ec)
 			if err != nil {
 				return err
 			}
@@ -551,14 +695,14 @@ func (a *aggOp) open(ex *execCtx) error {
 			}
 		}
 		if grp == nil {
-			grp = &aggGroup{keys: keys, states: make([]aggState, len(a.aggs))}
+			grp = &aggGroup{keys: keys.Clone(), states: make([]aggState, len(a.aggs))}
 			buckets[h] = append(buckets[h], grp)
 			order = append(order, grp)
 		}
 		for i, def := range a.aggs {
 			var v sqltypes.Value
 			if def.arg != nil {
-				v, err = def.arg.eval(ec)
+				v, err = def.arg.eval(&ec)
 				if err != nil {
 					return err
 				}
@@ -584,13 +728,12 @@ func (a *aggOp) open(ex *execCtx) error {
 	return nil
 }
 
-func (a *aggOp) next(*execCtx) (sqltypes.Row, error) {
-	if a.pos >= len(a.out) {
-		return nil, nil
+func (a *aggOp) next(_ *execCtx, out *sqltypes.Batch) error {
+	for a.pos < len(a.out) && !out.Full() {
+		out.Append(a.out[a.pos])
+		a.pos++
 	}
-	row := a.out[a.pos]
-	a.pos++
-	return row, nil
+	return nil
 }
 
 func (a *aggOp) close() { a.out = nil }
@@ -621,8 +764,12 @@ func (s *sortOp) open(ex *execCtx) error {
 		keys sqltypes.Row
 	}
 	var all []keyed
+	ec := evalCtx{ex: ex}
+	var cs childStream
+	cs.open(ex)
+	defer cs.close()
 	for {
-		row, err := s.child.next(ex)
+		row, err := cs.nextRow(s.child, ex)
 		if err != nil {
 			return err
 		}
@@ -630,9 +777,9 @@ func (s *sortOp) open(ex *execCtx) error {
 			break
 		}
 		ks := make(sqltypes.Row, len(s.keys))
-		ec := &evalCtx{ex: ex, row: row}
+		ec.row = row
 		for i, k := range s.keys {
-			v, err := k.expr.eval(ec)
+			v, err := k.expr.eval(&ec)
 			if err != nil {
 				return err
 			}
@@ -659,13 +806,12 @@ func (s *sortOp) open(ex *execCtx) error {
 	return nil
 }
 
-func (s *sortOp) next(*execCtx) (sqltypes.Row, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
+func (s *sortOp) next(_ *execCtx, out *sqltypes.Batch) error {
+	for s.pos < len(s.rows) && !out.Full() {
+		out.Append(s.rows[s.pos])
+		s.pos++
 	}
-	r := s.rows[s.pos]
-	s.pos++
-	return r, nil
+	return nil
 }
 
 func (s *sortOp) close() { s.rows = nil }
@@ -683,16 +829,18 @@ func (l *limitOp) open(ex *execCtx) error {
 	return l.child.open(ex)
 }
 
-func (l *limitOp) next(ex *execCtx) (sqltypes.Row, error) {
+func (l *limitOp) next(ex *execCtx, out *sqltypes.Batch) error {
 	if l.seen >= l.n {
-		return nil, nil
+		return nil
 	}
-	row, err := l.child.next(ex)
-	if err != nil || row == nil {
-		return nil, err
+	if err := l.child.next(ex, out); err != nil {
+		return err
 	}
-	l.seen++
-	return row, nil
+	if rem := l.n - l.seen; int64(out.Len()) > rem {
+		out.Truncate(int(rem))
+	}
+	l.seen += int64(out.Len())
+	return nil
 }
 
 func (l *limitOp) close() { l.child.close() }
@@ -702,18 +850,24 @@ func (l *limitOp) close() { l.child.close() }
 type distinctOp struct {
 	child op
 	seen  map[uint64][]sqltypes.Row
+
+	cs childStream
 }
 
 func (d *distinctOp) open(ex *execCtx) error {
 	d.seen = map[uint64][]sqltypes.Row{}
+	d.cs.open(ex)
 	return d.child.open(ex)
 }
 
-func (d *distinctOp) next(ex *execCtx) (sqltypes.Row, error) {
-	for {
-		row, err := d.child.next(ex)
-		if err != nil || row == nil {
-			return nil, err
+func (d *distinctOp) next(ex *execCtx, out *sqltypes.Batch) error {
+	for !out.Full() {
+		row, err := d.cs.nextRow(d.child, ex)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
 		}
 		h := sqltypes.HashRow(row)
 		dup := false
@@ -727,30 +881,13 @@ func (d *distinctOp) next(ex *execCtx) (sqltypes.Row, error) {
 			continue
 		}
 		d.seen[h] = append(d.seen[h], row)
-		return row, nil
+		out.Append(row)
 	}
+	return nil
 }
 
 func (d *distinctOp) close() {
 	d.child.close()
+	d.cs.close()
 	d.seen = nil
-}
-
-// run drains an operator into a slice.
-func run(root op, ex *execCtx) ([]sqltypes.Row, error) {
-	if err := root.open(ex); err != nil {
-		return nil, err
-	}
-	defer root.close()
-	var rows []sqltypes.Row
-	for {
-		row, err := root.next(ex)
-		if err != nil {
-			return nil, fmt.Errorf("execution: %w", err)
-		}
-		if row == nil {
-			return rows, nil
-		}
-		rows = append(rows, row)
-	}
 }

@@ -134,9 +134,12 @@ func (nd *Node) QueryStmt(sel *sql.SelectStmt) (*Result, error) {
 // QueryOpts carries per-query planner overrides. ForceIndexScan pins
 // enable_seqscan=off for this query only — the per-connection SET the
 // Apuama paper issues around each SVP sub-query, without perturbing
-// concurrent sessions on the same node.
+// concurrent sessions on the same node. BatchSize overrides the row
+// capacity of operator-internal batches (0 = default; tests shrink it
+// to exercise batch boundaries).
 type QueryOpts struct {
 	ForceIndexScan bool
+	BatchSize      int
 }
 
 // QueryStmtAt executes a parsed SELECT at an explicit snapshot. The
@@ -144,21 +147,91 @@ type QueryOpts struct {
 // passes it here so sub-queries observe identical database states even
 // while unblocked updates proceed.
 func (nd *Node) QueryStmtAt(sel *sql.SelectStmt, snapshot int64, opts QueryOpts) (*Result, error) {
+	cur, err := nd.OpenQueryStmtAt(sel, snapshot, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	b := sqltypes.GetBatch()
+	defer sqltypes.PutBatch(b)
+	var rows []sqltypes.Row
+	for {
+		if err := cur.Next(b); err != nil {
+			return nil, err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		rows = append(rows, b.Rows...)
+	}
+	return &Result{Cols: cur.Cols(), Rows: rows}, nil
+}
+
+// Cursor streams one query's results batch-at-a-time. It pins the
+// node's per-query planner overrides (ForceIndexScan) from open until
+// Close, so a cursor must always be closed.
+type Cursor struct {
+	nd     *Node
+	ex     *execCtx
+	root   op
+	cols   []string
+	forced bool
+	closed bool
+}
+
+// OpenQueryStmtAt plans a SELECT at an explicit snapshot and returns a
+// cursor positioned before the first batch. The caller must Close the
+// cursor (Close is idempotent and safe after errors).
+func (nd *Node) OpenQueryStmtAt(sel *sql.SelectStmt, snapshot int64, opts QueryOpts) (*Cursor, error) {
 	if opts.ForceIndexScan {
 		nd.forcedIndex.Add(1)
-		defer nd.forcedIndex.Add(-1)
+	}
+	release := func() {
+		if opts.ForceIndexScan {
+			nd.forcedIndex.Add(-1)
+		}
 	}
 	root, cols, err := nd.planSelect(sel)
 	if err != nil {
+		release()
 		return nil, err
 	}
-	ex := &execCtx{node: nd, snapshot: snapshot}
-	rows, err := run(root, ex)
-	if err != nil {
+	ex := &execCtx{node: nd, snapshot: snapshot, batchCap: opts.BatchSize}
+	if err := root.open(ex); err != nil {
+		release()
 		return nil, err
 	}
-	nd.meter.Flush()
-	return &Result{Cols: cols, Rows: rows}, nil
+	return &Cursor{nd: nd, ex: ex, root: root, cols: cols, forced: opts.ForceIndexScan}, nil
+}
+
+// Cols returns the result column names.
+func (c *Cursor) Cols() []string { return c.cols }
+
+// Next resets out and fills it with the next batch of rows. An empty
+// batch after return signals end of stream. Calling Next on a closed
+// cursor returns an empty batch.
+func (c *Cursor) Next(out *sqltypes.Batch) error {
+	out.Reset()
+	if c.closed {
+		return nil
+	}
+	if err := c.root.next(c.ex, out); err != nil {
+		return fmt.Errorf("execution: %w", err)
+	}
+	return nil
+}
+
+// Close releases the plan and flushes the node's cost meter. Idempotent.
+func (c *Cursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.root.close()
+	c.nd.meter.Flush()
+	if c.forced {
+		c.nd.forcedIndex.Add(-1)
+	}
 }
 
 // Exec executes any statement in standalone (single-node) mode: writes

@@ -15,6 +15,7 @@ import (
 	"apuama/internal/engine"
 	"apuama/internal/sql"
 	"apuama/internal/sqltypes"
+	"apuama/internal/storage"
 )
 
 // MemDB is one in-memory composition database.
@@ -62,6 +63,116 @@ func (m *MemDB) LoadResult(prefix string, cols []string, rows []sqltypes.Row) (s
 		}
 	}
 	return name, nil
+}
+
+// Loader loads partial rows into a composition table incrementally, so
+// composition can begin before the last partial arrives. Column kinds
+// are inferred from the rows seen so far; when a later row forces a
+// widening (or a column that looked all-NULL turns out typed), the
+// table is rebuilt from the retained rows — the end state is identical
+// to a one-shot LoadResult over the same rows. Not safe for concurrent
+// use; one Loader belongs to one composing query.
+type Loader struct {
+	m      *MemDB
+	prefix string
+	cols   []string
+	name   string
+	rel    *storage.Relation
+	kinds  []sqltypes.Kind
+	rows   []sqltypes.Row // everything appended, for rebuilds and Reset replays
+}
+
+// NewLoader prepares an incremental load; the table is created lazily on
+// the first Append (or by Finish for an empty result).
+func (m *MemDB) NewLoader(prefix string, cols []string) *Loader {
+	return &Loader{m: m, prefix: prefix, cols: cols}
+}
+
+// Append loads a slice of rows into the table, creating or rebuilding it
+// as kind inference evolves. The rows are retained by reference.
+func (l *Loader) Append(rows []sqltypes.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	l.rows = append(l.rows, rows...)
+	if l.rel != nil && !l.widens(rows) {
+		return l.insert(rows)
+	}
+	return l.rebuild()
+}
+
+// widens reports whether any incoming value is incompatible with the
+// kinds the table was created with (requiring a rebuild).
+func (l *Loader) widens(rows []sqltypes.Row) bool {
+	for _, row := range rows {
+		for i, v := range row {
+			if i >= len(l.kinds) || v.IsNull() {
+				continue
+			}
+			if v.K != l.kinds[i] && !(v.K == sqltypes.KindInt && l.kinds[i] == sqltypes.KindFloat) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reset discards the table and every retained row: the rollback path
+// when a streamed attempt turns out not to be the partition's winner.
+// The next Append starts a fresh table.
+func (l *Loader) Reset() {
+	l.rows = nil
+	l.rel = nil
+	l.name = ""
+	l.kinds = nil
+}
+
+// Finish returns the loaded table's name, creating an empty table if no
+// rows were ever appended.
+func (l *Loader) Finish() (string, error) {
+	if l.rel == nil {
+		if err := l.rebuild(); err != nil {
+			return "", err
+		}
+	}
+	return l.name, nil
+}
+
+// Rows returns the number of rows loaded so far.
+func (l *Loader) Rows() int { return len(l.rows) }
+
+// rebuild (re)creates the table with kinds inferred over every retained
+// row and re-inserts them. Fresh names keep concurrent compositions and
+// abandoned predecessors from colliding.
+func (l *Loader) rebuild() error {
+	if len(l.cols) == 0 {
+		return fmt.Errorf("memdb: result has no columns")
+	}
+	l.name = fmt.Sprintf("%s_%d", l.prefix, l.m.seq.Add(1))
+	l.kinds = inferKinds(len(l.cols), l.rows)
+	st := &sql.CreateTableStmt{Name: l.name}
+	for i, c := range l.cols {
+		st.Columns = append(st.Columns, sql.ColumnDef{Name: c, Type: l.kinds[i]})
+	}
+	rel, err := l.m.db.CreateTable(st)
+	if err != nil {
+		return err
+	}
+	l.rel = rel
+	return l.insert(l.rows)
+}
+
+func (l *Loader) insert(rows []sqltypes.Row) error {
+	for _, row := range rows {
+		conv := make(sqltypes.Row, len(row))
+		for i, v := range row {
+			conv[i] = widen(v, l.kinds[i])
+		}
+		if _, err := l.rel.Insert(0, conv); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Query runs a SELECT against the composition database.

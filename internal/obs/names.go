@@ -12,6 +12,14 @@ const (
 	MCompose          = "apuama_compose_seconds"           // result composition
 	MSubqueryDuration = "apuama_subquery_duration_seconds" // one sub-query attempt, per node
 
+	// Batch streaming (incremental gather/compose).
+	MGatherFirstBatch  = "apuama_gather_first_batch_seconds" // gather start → first partial batch
+	MGatherBatches     = "apuama_gather_batches_total"       // partial batches streamed to the composer
+	MGatherRows        = "apuama_gather_rows_total"          // partial rows streamed to the composer
+	MLimitShortCircuit = "apuama_limit_short_circuits_total" // gathers stopped early by a settled LIMIT
+	MBatchPoolGets     = "apuama_batch_pool_gets"            // gauge: cumulative batch-pool checkouts
+	MBatchPoolMisses   = "apuama_batch_pool_misses"          // gauge: checkouts that had to allocate
+
 	// Engine activity counters.
 	MSVPQueries    = "apuama_svp_queries_total"
 	MPassThrough   = "apuama_passthrough_queries_total"

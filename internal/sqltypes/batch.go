@@ -1,0 +1,108 @@
+package sqltypes
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBatchCapacity is the row capacity of pooled batches. 256 rows
+// keeps a batch of TPC-H-width tuples within L2 cache while amortizing
+// per-call overhead across the operator tree (the MonetDB/X100 sizing
+// argument: large enough to vectorize, small enough to stay cached).
+const DefaultBatchCapacity = 256
+
+// Batch is a fixed-capacity slab of rows: the unit of data flow of the
+// batch-streaming execution path. Operators fill a caller-owned batch in
+// place; the cluster layers ship whole batches over channels and the
+// wire.
+//
+// Ownership contract (see DESIGN.md "Execution model"):
+//
+//   - The consumer owns the Batch container and calls Reset before
+//     handing it back to a producer; the producer only appends.
+//   - Row slices appended to a batch remain valid after the batch is
+//     reset or reused — they reference stable storage (heap pages or
+//     freshly built tuples), never batch-owned scratch memory. A
+//     consumer may therefore retain Rows beyond the batch's lifetime
+//     without copying.
+//   - A batch obtained from GetBatch must be returned with PutBatch by
+//     whichever layer sees it last.
+type Batch struct {
+	Rows []Row
+}
+
+// NewBatch returns an unpooled batch with the given row capacity
+// (capacity <= 0 selects DefaultBatchCapacity).
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchCapacity
+	}
+	return &Batch{Rows: make([]Row, 0, capacity)}
+}
+
+// Len returns the number of rows currently in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// Cap returns the batch's row capacity.
+func (b *Batch) Cap() int { return cap(b.Rows) }
+
+// Full reports whether the batch has reached capacity.
+func (b *Batch) Full() bool { return len(b.Rows) == cap(b.Rows) }
+
+// Append adds one row. Appending beyond capacity grows the batch (legal
+// but defeats pooling; operators check Full instead).
+func (b *Batch) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// Truncate drops rows beyond n, clearing the dropped references (LIMIT
+// trims a child's overshoot this way).
+func (b *Batch) Truncate(n int) {
+	if n < 0 || n >= len(b.Rows) {
+		return
+	}
+	for i := n; i < len(b.Rows); i++ {
+		b.Rows[i] = nil
+	}
+	b.Rows = b.Rows[:n]
+}
+
+// Reset empties the batch for reuse, clearing row references so the
+// slab does not pin garbage.
+func (b *Batch) Reset() {
+	for i := range b.Rows {
+		b.Rows[i] = nil
+	}
+	b.Rows = b.Rows[:0]
+}
+
+// batchPool recycles DefaultBatchCapacity batches across queries. The
+// miss counter is bumped only when the pool has to allocate, so
+// gets-vs-misses is the pool hit rate exported by the metrics layer.
+var batchPool = sync.Pool{New: func() any {
+	batchPoolMisses.Add(1)
+	return &Batch{Rows: make([]Row, 0, DefaultBatchCapacity)}
+}}
+
+var batchPoolGets, batchPoolMisses atomic.Int64
+
+// GetBatch takes an empty batch from the pool.
+func GetBatch() *Batch {
+	batchPoolGets.Add(1)
+	return batchPool.Get().(*Batch)
+}
+
+// PutBatch resets the batch and returns it to the pool. Only
+// DefaultBatchCapacity batches are pooled; oddly-sized ones (from
+// NewBatch, or grown past capacity) are dropped for the GC.
+func PutBatch(b *Batch) {
+	if b == nil || cap(b.Rows) != DefaultBatchCapacity {
+		return
+	}
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// BatchPoolStats reports cumulative pool activity: total GetBatch calls
+// and how many had to allocate. hit rate = (gets-misses)/gets.
+func BatchPoolStats() (gets, misses int64) {
+	return batchPoolGets.Load(), batchPoolMisses.Load()
+}

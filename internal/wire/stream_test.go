@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"apuama/internal/engine"
+	"apuama/internal/sqltypes"
+)
+
+// wideHandler returns nRows rows so results span several chunk frames.
+type wideHandler struct{ nRows int }
+
+func (h *wideHandler) Query(q string) (*engine.Result, error) {
+	if strings.Contains(q, "boom") {
+		return nil, fmt.Errorf("synthetic failure")
+	}
+	res := &engine.Result{Cols: []string{"k"}}
+	for i := 0; i < h.nRows; i++ {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewInt(int64(i))})
+	}
+	return res, nil
+}
+
+func (h *wideHandler) Exec(q string) (int64, error) { return 0, nil }
+
+func dialStream(t *testing.T, nRows int) *Client {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", &wideHandler{nRows: nRows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestQueryStreamMultiChunk(t *testing.T) {
+	const n = DefaultChunkRows*3 + 17
+	c := dialStream(t, n)
+	rd, err := c.QueryStream("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := rd.Cols(); len(cols) != 1 || cols[0] != "k" {
+		t.Fatalf("cols: %v", cols)
+	}
+	for i := 0; i < n; i++ {
+		row, err := rd.Next()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d: %v", i, row)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("after last row: %v", err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The connection is back in sync for ordinary requests.
+	if _, err := c.Query("q"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryStreamEmptyResult(t *testing.T) {
+	c := dialStream(t, 0)
+	rd, err := c.QueryStream("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("empty result: %v", err)
+	}
+	rd.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryStreamError(t *testing.T) {
+	c := dialStream(t, 10)
+	if _, err := c.QueryStream("boom"); err == nil || !strings.Contains(err.Error(), "synthetic") {
+		t.Fatalf("error lost: %v", err)
+	}
+	// Failed queries release the connection immediately.
+	if _, err := c.Query("q"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryStreamEarlyClose abandons a cursor mid-result; Close must
+// drain the remaining frames so the next request is not misframed.
+func TestQueryStreamEarlyClose(t *testing.T) {
+	const n = DefaultChunkRows * 4
+	c := dialStream(t, n)
+	rd, err := c.QueryStream("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("next after close: %v", err)
+	}
+	res, err := c.Query("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != n {
+		t.Fatalf("follow-up query: %d rows", len(res.Rows))
+	}
+}
+
+// TestQueryStreamBlocksSharers: a shared client serializes an open
+// cursor against other requests rather than corrupting the stream.
+func TestQueryStreamBlocksSharers(t *testing.T) {
+	c := dialStream(t, DefaultChunkRows*2)
+	rd, err := c.QueryStream("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Query("q") // blocks until the cursor releases the conn
+		done <- err
+	}()
+	for {
+		if _, err := rd.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	rd.Close()
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryStreamFallback talks to a server that predates chunking: it
+// ignores Request.Stream and answers with one materialized Response.
+// QueryStream must degrade to serving that frame from memory.
+func TestQueryStreamFallback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+		for {
+			var req Request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			resp := Response{Cols: []string{"k"}, Rows: []sqltypes.Row{
+				{sqltypes.NewInt(7)},
+				{sqltypes.NewInt(8)},
+			}}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rd, err := c.QueryStream("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		row, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, row[0].I)
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("fallback rows: %v", got)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The connection was never reserved, so it is immediately reusable.
+	if _, err := c.QueryStream("q"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleFrameClientAgainstChunkedServer: the pre-chunking exchange
+// still works against the new server (Stream defaults to false).
+func TestSingleFrameClientAgainstChunkedServer(t *testing.T) {
+	c := dialStream(t, DefaultChunkRows+5)
+	res, err := c.Query("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != DefaultChunkRows+5 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -19,16 +20,39 @@ import (
 type Request struct {
 	Kind string // "query", "exec" or "ping"
 	SQL  string
+
+	// Stream asks the server for a chunked result: a header Response
+	// (Chunked=true, no rows) followed by Chunk frames the client reads
+	// as a cursor. Servers predating the field decode it as absent and
+	// answer with a plain single-frame Response — gob ignores unknown
+	// fields in both directions, so either side may be old.
+	Stream bool
 }
 
 // Response carries the outcome: a result set for queries, an affected
-// count for writes, or an error message.
+// count for writes, or an error message. When Chunked is set it is only
+// a header — Rows is empty and the rows follow as Chunk frames.
 type Response struct {
 	Cols     []string
 	Rows     []sqltypes.Row
 	Affected int64
 	Err      string
+	Chunked  bool
 }
+
+// Chunk is one row-batch frame of a chunked result. The trailer has
+// Last set (and no rows); a mid-stream failure arrives as a trailer
+// with Err set, after which the connection is still in sync.
+type Chunk struct {
+	Rows []sqltypes.Row
+	Last bool
+	Err  string
+}
+
+// DefaultChunkRows is how many rows the server packs per Chunk frame —
+// sized to the engine's batch granularity so a cursor client holds one
+// batch, not the whole result.
+const DefaultChunkRows = 256
 
 // Handler is what the server serves: the public Cluster satisfies it.
 type Handler interface {
@@ -110,6 +134,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			res, err := s.handler.Query(req.SQL)
 			if err != nil {
 				resp.Err = err.Error()
+			} else if req.Stream {
+				if err := sendChunked(enc, res); err != nil {
+					return
+				}
+				continue
 			} else {
 				resp.Cols = res.Cols
 				resp.Rows = res.Rows
@@ -128,6 +157,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// sendChunked writes a query result as header + row frames + trailer.
+func sendChunked(enc *gob.Encoder, res *engine.Result) error {
+	if err := enc.Encode(&Response{Cols: res.Cols, Chunked: true}); err != nil {
+		return err
+	}
+	rows := res.Rows
+	for len(rows) > 0 {
+		part := rows
+		if len(part) > DefaultChunkRows {
+			part = part[:DefaultChunkRows]
+		}
+		rows = rows[len(part):]
+		if err := enc.Encode(&Chunk{Rows: part}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(&Chunk{Last: true})
 }
 
 // Client is one connection to a wire server. Methods are safe for
@@ -168,13 +216,134 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 	return &resp, nil
 }
 
-// Query runs a read-only statement.
+// Query runs a read-only statement and materializes the whole result
+// (the original single-frame exchange).
 func (c *Client) Query(sqlText string) (*engine.Result, error) {
 	resp, err := c.roundTrip(Request{Kind: "query", SQL: sqlText})
 	if err != nil {
 		return nil, err
 	}
 	return &engine.Result{Cols: resp.Cols, Rows: resp.Rows}, nil
+}
+
+// QueryStream runs a read-only statement as a cursor: rows are decoded
+// from the socket chunk by chunk as the caller consumes them. The
+// connection is reserved until the reader is closed or drained — other
+// goroutines sharing this Client block meanwhile, exactly like a JDBC
+// result set holding its connection. Against a server that predates
+// chunking the whole result arrives in one frame and the reader serves
+// it from memory; callers cannot tell the difference.
+func (c *Client) QueryStream(sqlText string) (*RowReader, error) {
+	c.mu.Lock()
+	if c.conn == nil {
+		c.mu.Unlock()
+		return nil, errors.New("wire: client is closed")
+	}
+	if err := c.enc.Encode(&Request{Kind: "query", SQL: sqlText, Stream: true}); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if resp.Err != "" {
+		c.mu.Unlock()
+		return nil, errors.New(resp.Err)
+	}
+	r := &RowReader{c: c, cols: resp.Cols}
+	if !resp.Chunked {
+		// Single-frame fallback: an old server sent everything at once.
+		r.buf = resp.Rows
+		r.done = true
+		c.mu.Unlock()
+		return r, nil
+	}
+	return r, nil // the reader holds c.mu until done
+}
+
+// RowReader is a streaming cursor over one query's result.
+type RowReader struct {
+	c    *Client
+	cols []string
+	buf  []sqltypes.Row
+	pos  int
+	done bool // trailer seen (or fallback); the connection is released
+	err  error
+}
+
+// Cols returns the result schema.
+func (r *RowReader) Cols() []string { return r.cols }
+
+// Next returns the next row, or io.EOF after the last one. Any
+// mid-stream server error surfaces here once and is sticky.
+func (r *RowReader) Next() (sqltypes.Row, error) {
+	for {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.pos < len(r.buf) {
+			row := r.buf[r.pos]
+			r.pos++
+			return row, nil
+		}
+		if r.done {
+			return nil, io.EOF
+		}
+		var ch Chunk
+		if err := r.c.dec.Decode(&ch); err != nil {
+			r.fail(err)
+			return nil, err
+		}
+		if ch.Err != "" {
+			r.done = true
+			r.c.mu.Unlock()
+			r.err = errors.New(ch.Err)
+			return nil, r.err
+		}
+		if ch.Last {
+			r.done = true
+			r.c.mu.Unlock()
+			continue // serve any rows a combined trailer carried
+		}
+		r.buf = ch.Rows
+		r.pos = 0
+	}
+}
+
+// fail poisons the reader after a decode error. The connection is out
+// of frame sync, so it is closed rather than released.
+func (r *RowReader) fail(err error) {
+	r.err = err
+	r.done = true
+	conn := r.c.conn
+	r.c.conn = nil
+	r.c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Close drains any unread frames so the connection is left in sync for
+// the next request. Safe to call more than once and after io.EOF.
+func (r *RowReader) Close() error {
+	for !r.done && r.err == nil {
+		var ch Chunk
+		if err := r.c.dec.Decode(&ch); err != nil {
+			r.fail(err)
+			return err
+		}
+		if ch.Last || ch.Err != "" {
+			r.done = true
+			r.c.mu.Unlock()
+		}
+	}
+	if r.err == nil {
+		r.err = io.EOF // further Next calls report exhaustion
+	}
+	r.buf, r.pos = nil, 0
+	return nil
 }
 
 // Exec runs a write/DDL/SET statement.
