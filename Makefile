@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet race fuzz-replay fuzz-smoke cover bench bench-micro clean
+.PHONY: all build test tier1 vet staticcheck race fuzz-replay fuzz-smoke cover bench bench-micro bench-cache clean
 
 all: build test
 
@@ -13,6 +13,15 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck when available (CI installs it; local runs without the
+# binary skip with a note instead of failing the tier).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -23,7 +32,7 @@ fuzz-replay:
 
 # Tier-1 verification: static checks, the full suite under the race
 # detector (chaos/resilience tests included), and corpus replay.
-tier1: vet race fuzz-replay
+tier1: vet staticcheck race fuzz-replay
 
 # Short live fuzzing of each target (30s apiece) — a smoke pass, not a
 # campaign; run the targets individually with -fuzztime for longer.
@@ -54,6 +63,11 @@ bench:
 # (the vectorization win) and time-to-first-batch (the streaming win).
 bench-micro:
 	$(GO) test -bench 'FirstBatch|Allocs' -benchmem -run=^$$ ./internal/engine/
+
+# Result-cache experiment: cold vs warm vs shared-concurrent latency,
+# written as JSON for plotting.
+bench-cache:
+	$(GO) run ./cmd/apuama-bench -exp cache -quick -json bench-cache.json
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"time"
 
+	"apuama/internal/cache"
 	"apuama/internal/cluster"
 	"apuama/internal/core"
 	"apuama/internal/costmodel"
@@ -41,6 +42,25 @@ type Stats = core.Stats
 // CtlStats is the controller's resilience counters (breaker trips,
 // probes, auto-recoveries, retries, failovers).
 type CtlStats = cluster.CtlStats
+
+// CacheConfig sizes the versioned result cache (see internal/cache and
+// the "Result caching & work sharing" section of DESIGN.md). The zero
+// value disables caching entirely.
+type CacheConfig = cache.Config
+
+// CacheControl carries per-query cache directives: NoCache bypasses
+// lookup and fill, MaxStaleEpochs permits serving a result up to that
+// many committed writes behind the head. Attach with WithCacheControl.
+type CacheControl = cache.Control
+
+// CacheStats is the result cache's occupancy and activity counters.
+type CacheStats = cache.Stats
+
+// WithCacheControl returns a context carrying per-query cache
+// directives, honoured by Cluster.QueryContext.
+func WithCacheControl(ctx context.Context, ctl CacheControl) context.Context {
+	return cache.WithControl(ctx, ctl)
+}
 
 // FaultInjector scripts deterministic faults for one node; attach with
 // Cluster.InjectFaults. See internal/fault for the taxonomy.
@@ -107,6 +127,10 @@ type Config struct {
 	GatherBudget int
 	// Policy selects the controller's read balancing policy.
 	Policy cluster.Policy
+
+	// Cache sizes the versioned result cache keyed by the cluster's
+	// txn counters; the zero value disables it. See CacheConfig.
+	Cache CacheConfig
 
 	// QueryTimeout is the per-query deadline applied when the caller's
 	// context has none (zero = no default deadline).
@@ -204,6 +228,7 @@ func Open(cfg Config) (*Cluster, error) {
 	opts.RetryBackoff = cfg.RetryBackoff
 	opts.DisableHedging = cfg.DisableHedging
 	opts.HedgeMultiplier = cfg.HedgeMultiplier
+	opts.Cache = cfg.Cache
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{
 		Policy:              cfg.Policy,
@@ -275,6 +300,10 @@ func (c *Cluster) Stats() Stats { return c.eng.Snapshot() }
 
 // ControllerStats returns the controller's resilience counters.
 func (c *Cluster) ControllerStats() CtlStats { return c.ctl.Snapshot() }
+
+// CacheStats returns the result cache's counters (the zero value when
+// caching is disabled).
+func (c *Cluster) CacheStats() CacheStats { return c.eng.Cache().Stats() }
 
 // InjectFaults attaches a fault injector to node i (nil detaches). The
 // injector scripts crashes, stragglers, flaky errors and delayed

@@ -14,6 +14,7 @@
 //
 //	GET /metrics       Prometheus text exposition of the cluster registry
 //	GET /debug/slowlog JSON span trees of recent slow queries (needs -trace)
+//	GET /debug/cache   JSON counters of the result cache (needs -cache-entries)
 package main
 
 import (
@@ -54,6 +55,14 @@ func serveObs(addr string, c *apuama.Cluster) (*http.Server, error) {
 			log.Printf("apuamad: /debug/slowlog: %v", err)
 		}
 	})
+	mux.HandleFunc("/debug/cache", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.CacheStats()); err != nil {
+			log.Printf("apuamad: /debug/cache: %v", err)
+		}
+	})
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -78,7 +87,12 @@ func main() {
 		stale    = flag.Int64("staleness", 0, "relaxed-freshness bound in writes (0 = strict barrier)")
 		sleep    = flag.Bool("realtime", false, "sleep simulated latencies (realistic timing)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/slowlog on this address (e.g. 127.0.0.1:7655; empty = off)")
+		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity in composed results (0 = caching off)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (with -cache-entries)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = no expiry)")
+		cacheStale   = flag.Int64("cache-stale", 0, "serve cached results up to this many committed writes behind the head")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/slowlog and /debug/cache on this address (e.g. 127.0.0.1:7655; empty = off)")
 		trace       = flag.Bool("trace", false, "record per-query lifecycle span trees into the slow-query log")
 		slowLogSize = flag.Int("slowlog-size", 128, "slow-query log ring size")
 		slowerThan  = flag.Duration("slower-than", 0, "only log queries at least this slow (0 = all traced queries)")
@@ -88,6 +102,14 @@ func main() {
 	cfg := apuama.Config{
 		Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale,
 		Trace: *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,
+	}
+	if *cacheEntries > 0 {
+		cfg.Cache = apuama.CacheConfig{
+			Entries:        *cacheEntries,
+			MaxBytes:       *cacheBytes,
+			TTL:            *cacheTTL,
+			MaxStaleEpochs: *cacheStale,
+		}
 	}
 	cfg.Cost = apuama.DefaultCost()
 	cfg.Cost.RealSleep = *sleep

@@ -1,0 +1,344 @@
+// Package cache is the versioned result cache and in-flight query
+// sharing layer ("Result caching & work sharing" in DESIGN.md).
+//
+// The consistency barrier already maintains per-node transaction
+// counters so SVP sub-queries dispatch only when every replica is at
+// the same state; the converged counter is exactly the version a result
+// cache needs. Entries are keyed by (query fingerprint, epoch), where
+// the fingerprint is the canonical-form hash from internal/sql and the
+// epoch is the cluster transaction counter the result was computed at.
+// Any committed write bumps every replica's counter, so invalidation is
+// implicit: the next lookup happens at a higher epoch and misses. A
+// staleness knob (MaxStaleEpochs) lets reads accept results up to k
+// writes behind the head — the cache-side analogue of the engine's
+// relaxed-freshness replication policy.
+//
+// Three cooperating layers:
+//
+//   - the result cache: a bounded, sharded LRU of final composed
+//     results (entry/byte caps + TTL);
+//   - in-flight sharing: N concurrent identical queries at the same
+//     epoch execute the plan once and fan the result out (Do);
+//   - the partial cache: per-partition sub-query results keyed by
+//     (sub-query fingerprint, VPA range, epoch), so a warm partition
+//     skips re-execution and only missing ranges dispatch.
+//
+// Cached results are shared between callers and must be treated as
+// immutable — the engine's composers build fresh result objects and
+// never mutate returned ones.
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apuama/internal/engine"
+	"apuama/internal/obs"
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+)
+
+// Config sizes the cache. The zero value disables caching entirely.
+type Config struct {
+	// Entries caps cached composed results (0 disables the cache).
+	// The partial cache, when enabled, holds up to 4× this many
+	// partition entries (one query contributes n of them).
+	Entries int
+	// MaxBytes caps approximate resident bytes across both layers
+	// (0 = no byte cap). Split evenly when the partial cache is on.
+	MaxBytes int64
+	// TTL expires entries by age even without writes (0 = no expiry).
+	TTL time.Duration
+	// MaxStaleEpochs lets lookups accept results up to this many
+	// committed writes behind the head epoch (0 = exact-epoch only).
+	// Per-request control bits can tighten or relax it (Control).
+	MaxStaleEpochs int64
+	// DisablePartial turns off the partition-level partial cache.
+	DisablePartial bool
+}
+
+// Enabled reports whether this configuration caches anything.
+func (c Config) Enabled() bool { return c.Entries > 0 }
+
+// maxStaleScan bounds the per-lookup epoch walk no matter what a
+// request asks for: each stale epoch probed is one more map lookup.
+const maxStaleScan = 64
+
+// Control is the per-request cache policy, carried in the context
+// (WithControl) from the wire protocol / driver down to the engine.
+type Control struct {
+	// NoCache bypasses lookup, fill, and in-flight sharing.
+	NoCache bool
+	// MaxStaleEpochs, when > 0, overrides the configured staleness
+	// bound for this request only.
+	MaxStaleEpochs int64
+}
+
+type controlKey struct{}
+
+// WithControl attaches per-request cache control bits to the context.
+func WithControl(ctx context.Context, ctl Control) context.Context {
+	return context.WithValue(ctx, controlKey{}, ctl)
+}
+
+// ControlFrom extracts the request's control bits (zero value if none).
+func ControlFrom(ctx context.Context) Control {
+	ctl, _ := ctx.Value(controlKey{}).(Control)
+	return ctl
+}
+
+// Stats is a point-in-time view of cache activity, exposed through
+// Cluster.CacheStats and the daemon's /debug/cache endpoint.
+type Stats struct {
+	Hits        int64 // full-result lookups served from cache
+	Misses      int64 // full-result lookups that fell through
+	StaleHits   int64 // hits served from behind the head epoch
+	Shares      int64 // queries that rode another's in-flight execution
+	Fills       int64 // composed results inserted
+	Entries     int64 // resident composed results
+	Bytes       int64 // approximate resident bytes, both layers
+	Evictions   int64 // entries evicted by the entry/byte caps
+	Expired     int64 // entries dropped at their TTL
+	PartialHits int64 // partitions served from the partial cache
+	PartialMiss int64 // partition probes that dispatched for real
+	PartialFill int64 // partition results inserted
+	PartialEnts int64 // resident partition entries
+}
+
+// Cache is the process-wide query cache: composed results, in-flight
+// sharing, and the partition-level partial layer. All methods are safe
+// for concurrent use. A nil *Cache is inert: lookups miss, fills no-op,
+// Do runs the function directly.
+type Cache struct {
+	cfg      Config
+	results  *store
+	partials *store // nil when Config.DisablePartial
+
+	fmu     sync.Mutex
+	flights map[flightKey]*flightCall
+
+	mFills *obs.Counter // registry mirror of fills (nil-safe)
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	staleHits atomic.Int64
+	shares    atomic.Int64
+	fills     atomic.Int64
+	pHits     atomic.Int64
+	pMiss     atomic.Int64
+	pFills    atomic.Int64
+}
+
+// New builds a cache sized by cfg, mirroring occupancy and eviction
+// metrics into reg (nil-safe). Returns nil when cfg disables caching —
+// callers may use the nil cache directly.
+func New(cfg Config, reg *obs.Registry) *Cache {
+	if !cfg.Enabled() {
+		return nil
+	}
+	resBytes := cfg.MaxBytes
+	var partials *store
+	if !cfg.DisablePartial {
+		if cfg.MaxBytes > 0 {
+			resBytes = cfg.MaxBytes / 2
+		}
+		partials = newStore(cfg.Entries*4, resBytes, cfg.TTL, storeMetrics{
+			evictions: reg.Counter(obs.MCacheEvictions),
+			expired:   reg.Counter(obs.MCacheExpired),
+			bytes:     reg.Gauge(obs.MCachePartialBytes),
+			entries:   reg.Gauge(obs.MCachePartialEntries),
+		})
+	}
+	results := newStore(cfg.Entries, resBytes, cfg.TTL, storeMetrics{
+		evictions: reg.Counter(obs.MCacheEvictions),
+		expired:   reg.Counter(obs.MCacheExpired),
+		bytes:     reg.Gauge(obs.MCacheBytes),
+		entries:   reg.Gauge(obs.MCacheEntries),
+	})
+	return &Cache{
+		cfg:      cfg,
+		results:  results,
+		partials: partials,
+		flights:  map[flightKey]*flightCall{},
+		mFills:   reg.Counter(obs.MCacheFills),
+	}
+}
+
+// Config returns the cache's sizing configuration (zero for nil).
+func (c *Cache) Config() Config {
+	if c == nil {
+		return Config{}
+	}
+	return c.cfg
+}
+
+// PartialEnabled reports whether the partition-level layer is active.
+func (c *Cache) PartialEnabled() bool { return c != nil && c.partials != nil }
+
+// StaleBound resolves the effective staleness bound for a request:
+// the per-request override when set, the configured default otherwise,
+// clamped to the scan bound.
+func (c *Cache) StaleBound(ctl Control) int64 {
+	if c == nil {
+		return 0
+	}
+	bound := c.cfg.MaxStaleEpochs
+	if ctl.MaxStaleEpochs > 0 {
+		bound = ctl.MaxStaleEpochs
+	}
+	if bound > maxStaleScan {
+		bound = maxStaleScan
+	}
+	return bound
+}
+
+// Lookup returns the cached composed result for fp at epoch, walking
+// back up to maxStale older epochs. The returned epoch is the one the
+// hit was computed at (== epoch for a fresh hit).
+func (c *Cache) Lookup(fp sql.Fingerprint, epoch, maxStale int64) (*engine.Result, int64, bool) {
+	res, at, ok := c.Peek(fp, epoch, maxStale)
+	if c == nil {
+		return res, at, ok
+	}
+	if ok {
+		c.hits.Add(1)
+		if at < epoch {
+			c.staleHits.Add(1)
+		}
+	} else {
+		c.misses.Add(1)
+	}
+	return res, at, ok
+}
+
+// Peek is Lookup without touching the hit/miss counters. The
+// singleflight double-check uses it so one logical miss is not counted
+// twice.
+func (c *Cache) Peek(fp sql.Fingerprint, epoch, maxStale int64) (*engine.Result, int64, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	if maxStale > maxStaleScan {
+		maxStale = maxStaleScan
+	}
+	for d := int64(0); d <= maxStale && epoch-d >= 0; d++ {
+		if v, ok := c.results.get(ckey{fp: uint64(fp), epoch: epoch - d}); ok {
+			return v.(*engine.Result), epoch - d, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Fill inserts a composed result computed at epoch.
+func (c *Cache) Fill(fp sql.Fingerprint, epoch int64, res *engine.Result) {
+	if c == nil || res == nil {
+		return
+	}
+	c.fills.Add(1)
+	c.mFills.Inc()
+	c.results.put(ckey{fp: uint64(fp), epoch: epoch}, res, resultSize(res))
+}
+
+// LookupPartial returns the cached rows of one partition's sub-query at
+// exactly the given epoch. Partials never serve stale: a composed
+// result must come from partitions of one snapshot, so mixing epochs
+// across partitions is never sound.
+func (c *Cache) LookupPartial(fp sql.Fingerprint, lo, hi, epoch int64) ([]sqltypes.Row, bool) {
+	if c == nil || c.partials == nil {
+		return nil, false
+	}
+	if v, ok := c.partials.get(ckey{fp: uint64(fp), lo: lo, hi: hi, epoch: epoch}); ok {
+		c.pHits.Add(1)
+		return v.([]sqltypes.Row), true
+	}
+	c.pMiss.Add(1)
+	return nil, false
+}
+
+// FillPartial inserts one partition's sub-query rows at epoch.
+func (c *Cache) FillPartial(fp sql.Fingerprint, lo, hi, epoch int64, rows []sqltypes.Row) {
+	if c == nil || c.partials == nil {
+		return
+	}
+	c.pFills.Add(1)
+	c.partials.put(ckey{fp: uint64(fp), lo: lo, hi: hi, epoch: epoch}, rows, rowsSize(rows))
+}
+
+// DropResults empties the composed-result layer only: the next lookup
+// misses and re-executes, but warm partitions still come out of the
+// partial layer. The flight table is untouched — in-flight executions
+// finish normally.
+func (c *Cache) DropResults() {
+	if c == nil {
+		return
+	}
+	c.results.clear()
+}
+
+// DropAll empties both layers (the operational escape hatch).
+func (c *Cache) DropAll() {
+	if c == nil {
+		return
+	}
+	c.results.clear()
+	if c.partials != nil {
+		c.partials.clear()
+	}
+}
+
+// Stats snapshots cache activity. Safe on a nil cache (all zeros).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		StaleHits:   c.staleHits.Load(),
+		Shares:      c.shares.Load(),
+		Fills:       c.fills.Load(),
+		PartialHits: c.pHits.Load(),
+		PartialMiss: c.pMiss.Load(),
+		PartialFill: c.pFills.Load(),
+	}
+	s.Entries = c.results.len()
+	s.Bytes = c.results.bytes()
+	s.Evictions = c.results.evicted()
+	s.Expired = c.results.expiredN()
+	if c.partials != nil {
+		s.PartialEnts = c.partials.len()
+		s.Bytes += c.partials.bytes()
+		s.Evictions += c.partials.evicted()
+		s.Expired += c.partials.expiredN()
+	}
+	return s
+}
+
+// Size estimation: fixed per-value overhead (kind + int64 + float64 +
+// string header) plus string payloads — approximate by design; the
+// byte cap bounds memory order-of-magnitude, not exactly.
+const (
+	perValueBytes = 40
+	perRowBytes   = 24
+)
+
+func rowsSize(rows []sqltypes.Row) int64 {
+	sz := int64(perRowBytes)
+	for _, r := range rows {
+		sz += perRowBytes + int64(len(r))*perValueBytes
+		for _, v := range r {
+			sz += int64(len(v.S))
+		}
+	}
+	return sz
+}
+
+func resultSize(res *engine.Result) int64 {
+	sz := rowsSize(res.Rows)
+	for _, col := range res.Cols {
+		sz += int64(len(col)) + 16
+	}
+	return sz
+}

@@ -1,0 +1,372 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apuama/internal/engine"
+	"apuama/internal/obs"
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+)
+
+func res(n int) *engine.Result {
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i))}
+	}
+	return &engine.Result{Cols: []string{"v"}, Rows: rows}
+}
+
+func TestLookupFillEpoch(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	fp := sql.Fingerprint(1)
+	if _, _, ok := c.Lookup(fp, 5, 0); ok {
+		t.Fatal("empty cache hit")
+	}
+	want := res(3)
+	c.Fill(fp, 5, want)
+	got, at, ok := c.Lookup(fp, 5, 0)
+	if !ok || got != want || at != 5 {
+		t.Fatalf("fresh hit: got %v at %d ok=%v", got, at, ok)
+	}
+	// A bumped epoch (committed write) misses with no staleness budget…
+	if _, _, ok := c.Lookup(fp, 6, 0); ok {
+		t.Fatal("hit across epoch bump with maxStale=0")
+	}
+	// …and hits within the budget, reporting the older epoch.
+	got, at, ok = c.Lookup(fp, 6, 1)
+	if !ok || got != want || at != 5 {
+		t.Fatalf("stale hit: got %v at %d ok=%v", got, at, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.StaleHits != 1 || s.Fills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEntryCapEvicts(t *testing.T) {
+	// Entries below the shard count floor to one entry per shard; fill
+	// far past the cap and check occupancy respects it.
+	c := New(Config{Entries: 16, DisablePartial: true}, nil)
+	for i := 0; i < 500; i++ {
+		c.Fill(sql.Fingerprint(i), 1, res(1))
+	}
+	s := c.Stats()
+	if s.Entries > 16 {
+		t.Fatalf("entries %d exceed cap 16", s.Entries)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestByteCapEvicts(t *testing.T) {
+	c := New(Config{Entries: 1 << 20, MaxBytes: 64 * 1024, DisablePartial: true}, nil)
+	for i := 0; i < 200; i++ {
+		c.Fill(sql.Fingerprint(i), 1, res(100)) // ~6.4KB each
+	}
+	if b := c.Stats().Bytes; b > 64*1024 {
+		t.Fatalf("resident bytes %d exceed cap", b)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestTTLExpires(t *testing.T) {
+	c := New(Config{Entries: 8, TTL: time.Millisecond}, nil)
+	c.Fill(1, 1, res(1))
+	time.Sleep(5 * time.Millisecond)
+	if _, _, ok := c.Lookup(1, 1, 0); ok {
+		t.Fatal("hit past TTL")
+	}
+	if c.Stats().Expired == 0 {
+		t.Fatal("no expiry counted")
+	}
+}
+
+func TestPartialExactEpochOnly(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	rows := []sqltypes.Row{{sqltypes.NewInt(7)}}
+	c.FillPartial(9, 0, 100, 3, rows)
+	if got, ok := c.LookupPartial(9, 0, 100, 3); !ok || len(got) != 1 {
+		t.Fatalf("exact-epoch partial lookup: ok=%v rows=%v", ok, got)
+	}
+	// Different range or epoch must miss — partials never serve stale.
+	if _, ok := c.LookupPartial(9, 0, 100, 4); ok {
+		t.Fatal("partial hit across epochs")
+	}
+	if _, ok := c.LookupPartial(9, 100, 200, 3); ok {
+		t.Fatal("partial hit across ranges")
+	}
+	s := c.Stats()
+	if s.PartialHits != 1 || s.PartialMiss != 2 || s.PartialFill != 1 || s.PartialEnts != 1 {
+		t.Fatalf("partial stats = %+v", s)
+	}
+}
+
+func TestDisablePartial(t *testing.T) {
+	c := New(Config{Entries: 8, DisablePartial: true}, nil)
+	c.FillPartial(9, 0, 100, 3, []sqltypes.Row{{sqltypes.NewInt(7)}})
+	if _, ok := c.LookupPartial(9, 0, 100, 3); ok {
+		t.Fatal("partial layer served while disabled")
+	}
+	if c.PartialEnabled() {
+		t.Fatal("PartialEnabled on a partial-disabled cache")
+	}
+}
+
+func TestSingleflightSharesOneExecution(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	var execs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), 1, 1, func() (*engine.Result, error) {
+			execs.Add(1)
+			close(started)
+			<-release
+			return res(1), nil
+		})
+	}()
+	<-started
+	var wg sync.WaitGroup
+	results := make([]*engine.Result, 8)
+	sharedN := atomic.Int64{}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, shared, err := c.Do(context.Background(), 1, 1, func() (*engine.Result, error) {
+				execs.Add(1)
+				return res(1), nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			if shared {
+				sharedN.Add(1)
+			}
+			results[i] = r
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the followers join the flight
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("executed %d times, want 1", n)
+	}
+	if n := sharedN.Load(); n != 8 {
+		t.Fatalf("shared %d of 8 followers", n)
+	}
+	for i, r := range results {
+		if r == nil || len(r.Rows) != 1 {
+			t.Fatalf("follower %d result %v", i, r)
+		}
+	}
+	if c.Stats().Shares != 8 {
+		t.Fatalf("share counter = %d", c.Stats().Shares)
+	}
+}
+
+func TestSingleflightFollowerContext(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), 1, 1, func() (*engine.Result, error) {
+		close(started)
+		<-release
+		return res(1), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := c.Do(ctx, 1, 1, func() (*engine.Result, error) { return res(1), nil })
+	if !errors.Is(err, context.Canceled) || shared {
+		t.Fatalf("cancelled follower: shared=%v err=%v", shared, err)
+	}
+}
+
+func TestSingleflightErrorPropagates(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	wantErr := errors.New("boom")
+	_, _, err := c.Do(context.Background(), 1, 1, func() (*engine.Result, error) { return nil, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// The flight entry is gone: the next Do runs fresh.
+	r, shared, err := c.Do(context.Background(), 1, 1, func() (*engine.Result, error) { return res(2), nil })
+	if err != nil || shared || len(r.Rows) != 2 {
+		t.Fatalf("after error: %v %v %v", r, shared, err)
+	}
+}
+
+func TestNilCacheInert(t *testing.T) {
+	var c *Cache
+	if c := New(Config{}, nil); c != nil {
+		t.Fatal("disabled config built a cache")
+	}
+	c.Fill(1, 1, res(1))
+	if _, _, ok := c.Lookup(1, 1, 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	if _, ok := c.LookupPartial(1, 0, 1, 1); ok {
+		t.Fatal("nil partial hit")
+	}
+	r, shared, err := c.Do(context.Background(), 1, 1, func() (*engine.Result, error) { return res(1), nil })
+	if err != nil || shared || r == nil {
+		t.Fatal("nil cache Do must run the function directly")
+	}
+	c.DropResults()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats = %+v", s)
+	}
+}
+
+func TestDropResults(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	c.Fill(1, 1, res(1))
+	c.FillPartial(2, 0, 10, 1, []sqltypes.Row{{sqltypes.NewInt(1)}})
+	c.DropResults()
+	s := c.Stats()
+	if s.Entries != 0 {
+		t.Fatalf("results survived DropResults: %+v", s)
+	}
+	if s.PartialEnts != 1 {
+		t.Fatalf("DropResults should keep partials: %+v", s)
+	}
+	if _, ok := c.LookupPartial(2, 0, 10, 1); !ok {
+		t.Fatal("partial entry lost")
+	}
+	c.DropAll()
+	s = c.Stats()
+	if s.Entries != 0 || s.PartialEnts != 0 || s.Bytes != 0 {
+		t.Fatalf("after DropAll: %+v", s)
+	}
+}
+
+func TestControlContext(t *testing.T) {
+	ctx := context.Background()
+	if ctl := ControlFrom(ctx); ctl != (Control{}) {
+		t.Fatalf("default control = %+v", ctl)
+	}
+	want := Control{NoCache: true, MaxStaleEpochs: 3}
+	if got := ControlFrom(WithControl(ctx, want)); got != want {
+		t.Fatalf("control round-trip = %+v", got)
+	}
+}
+
+func TestStaleBound(t *testing.T) {
+	c := New(Config{Entries: 8, MaxStaleEpochs: 2}, nil)
+	if b := c.StaleBound(Control{}); b != 2 {
+		t.Fatalf("default bound %d", b)
+	}
+	if b := c.StaleBound(Control{MaxStaleEpochs: 7}); b != 7 {
+		t.Fatalf("override bound %d", b)
+	}
+	if b := c.StaleBound(Control{MaxStaleEpochs: 100000}); b != maxStaleScan {
+		t.Fatalf("unclamped bound %d", b)
+	}
+	var nilC *Cache
+	if b := nilC.StaleBound(Control{MaxStaleEpochs: 7}); b != 0 {
+		t.Fatalf("nil bound %d", b)
+	}
+}
+
+func TestMetricsMirrored(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Entries: 16}, reg)
+	c.Fill(1, 1, res(2))
+	c.FillPartial(2, 0, 10, 1, []sqltypes.Row{{sqltypes.NewInt(1)}})
+	if v := reg.Gauge(obs.MCacheEntries).Value(); v != 1 {
+		t.Fatalf("%s gauge = %d", obs.MCacheEntries, v)
+	}
+	if v := reg.Gauge(obs.MCachePartialEntries).Value(); v != 1 {
+		t.Fatalf("%s gauge = %d", obs.MCachePartialEntries, v)
+	}
+	if v := reg.Gauge(obs.MCacheBytes).Value(); v <= 0 {
+		t.Fatalf("%s gauge = %d", obs.MCacheBytes, v)
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	// Hammer every entry point from many goroutines; the race detector
+	// (make tier1) is the assertion.
+	c := New(Config{Entries: 32, MaxBytes: 1 << 16, TTL: time.Millisecond}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				fp := sql.Fingerprint(i % 40)
+				epoch := int64(i % 5)
+				switch i % 5 {
+				case 0:
+					c.Fill(fp, epoch, res(i%7))
+				case 1:
+					c.Lookup(fp, epoch, 2)
+				case 2:
+					c.FillPartial(fp, 0, 100, epoch, res(i%3).Rows)
+				case 3:
+					c.LookupPartial(fp, 0, 100, epoch)
+				default:
+					c.Do(context.Background(), fp, epoch, func() (*engine.Result, error) {
+						return res(1), nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Stats()
+}
+
+func TestDoPanicReleasesFollowers(t *testing.T) {
+	c := New(Config{Entries: 8}, nil)
+	_, _, err := c.Do(context.Background(), 1, 1, func() (*engine.Result, error) {
+		panic("kaboom")
+	})
+	if err == nil {
+		t.Fatal("want an error from a panicking leader")
+	}
+	// The flight table must be clean afterwards.
+	r, _, err := c.Do(context.Background(), 1, 1, func() (*engine.Result, error) { return res(1), nil })
+	if err != nil || r == nil {
+		t.Fatalf("after panic: %v %v", r, err)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(Config{Entries: 1024}, nil)
+	for i := 0; i < 100; i++ {
+		c.Fill(sql.Fingerprint(i), 1, res(10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(sql.Fingerprint(i%100), 1, 0)
+	}
+}
+
+func BenchmarkLookupParallel(b *testing.B) {
+	c := New(Config{Entries: 1024}, nil)
+	for i := 0; i < 100; i++ {
+		c.Fill(sql.Fingerprint(i), 1, res(10))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Lookup(sql.Fingerprint(i%100), 1, 0)
+			i++
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+)
+
+// flightKey identifies one in-flight execution: identical queries at
+// the same head epoch share a single plan execution. Queries arriving
+// after a write (different epoch) run separately — the leader's result
+// would be stale for them.
+type flightKey struct {
+	fp    sql.Fingerprint
+	epoch int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *engine.Result
+	err  error
+}
+
+// Do executes fn once per (fingerprint, epoch) across concurrent
+// callers. The first caller (the leader) runs fn; followers block until
+// the leader finishes and receive its result with shared=true, or give
+// up when their own context ends (the leader keeps running — its result
+// still fills the cache for everyone else).
+//
+// The leader removes its flight entry before publishing the result, and
+// fn is expected to fill the cache before returning: a caller that
+// missed both the cache and the flight table re-runs fn, which begins
+// with its own cache lookup (double-checked caching) and finds the fill.
+func (c *Cache) Do(ctx context.Context, fp sql.Fingerprint, epoch int64, fn func() (*engine.Result, error)) (res *engine.Result, shared bool, err error) {
+	if c == nil {
+		res, err = fn()
+		return res, false, err
+	}
+	key := flightKey{fp: fp, epoch: epoch}
+	c.fmu.Lock()
+	if call, ok := c.flights[key]; ok {
+		c.fmu.Unlock()
+		select {
+		case <-call.done:
+			c.shares.Add(1)
+			return call.res, true, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flights[key] = call
+	c.fmu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			call.err = fmt.Errorf("cache: leader panicked: %v", r)
+			err = call.err
+		}
+		c.fmu.Lock()
+		delete(c.flights, key)
+		c.fmu.Unlock()
+		close(call.done)
+	}()
+	call.res, call.err = fn()
+	return call.res, false, call.err
+}

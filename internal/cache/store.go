@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apuama/internal/obs"
+)
+
+// ckey identifies one cached value: the query (or sub-query)
+// fingerprint, the VPA range for partials (zero for composed results),
+// and the epoch the value was computed at.
+type ckey struct {
+	fp     uint64
+	lo, hi int64
+	epoch  int64
+}
+
+// storeMetrics are the registry mirrors a store maintains (nil-safe).
+type storeMetrics struct {
+	evictions *obs.Counter
+	expired   *obs.Counter
+	bytes     *obs.Gauge
+	entries   *obs.Gauge
+}
+
+// store is a sharded LRU with entry/byte caps and TTL. Sharding keeps
+// lock hold times short under concurrent identical-query storms; the
+// caps apply per shard (total/shards) so eviction needs no global lock.
+type store struct {
+	shards     [storeShards]shard
+	maxEntries int // per shard
+	maxBytes   int64
+	ttl        time.Duration
+	m          storeMetrics
+
+	nEntries atomic.Int64
+	nBytes   atomic.Int64
+	nEvicted atomic.Int64
+	nExpired atomic.Int64
+}
+
+const storeShards = 16
+
+type shard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	m     map[ckey]*list.Element
+	bytes int64
+}
+
+type entry struct {
+	key      ckey
+	val      any
+	size     int64
+	deadline time.Time // zero = no TTL
+}
+
+func newStore(maxEntries int, maxBytes int64, ttl time.Duration, m storeMetrics) *store {
+	perShard := maxEntries / storeShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &store{maxEntries: perShard, ttl: ttl, m: m}
+	if maxBytes > 0 {
+		s.maxBytes = maxBytes / storeShards
+		if s.maxBytes < 1 {
+			s.maxBytes = 1
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].ll = list.New()
+		s.shards[i].m = map[ckey]*list.Element{}
+	}
+	return s
+}
+
+func (s *store) shardFor(k ckey) *shard {
+	// fp is already a 64-bit hash; fold the range and epoch in so one
+	// hot fingerprint's epochs spread across shards.
+	h := k.fp ^ uint64(k.epoch)*0x9e3779b97f4a7c15 ^ uint64(k.lo)<<17 ^ uint64(k.hi)<<31
+	return &s.shards[h%storeShards]
+}
+
+func (s *store) get(k ckey) (any, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[k]
+	if !ok {
+		return nil, false
+	}
+	en := el.Value.(*entry)
+	if !en.deadline.IsZero() && time.Now().After(en.deadline) {
+		s.removeLocked(sh, el)
+		s.nExpired.Add(1)
+		s.m.expired.Inc()
+		s.publish()
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	return en.val, true
+}
+
+func (s *store) put(k ckey, val any, size int64) {
+	var deadline time.Time
+	if s.ttl > 0 {
+		deadline = time.Now().Add(s.ttl)
+	}
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.m[k]; ok {
+		en := el.Value.(*entry)
+		s.nBytes.Add(size - en.size)
+		sh.bytes += size - en.size
+		en.val, en.size, en.deadline = val, size, deadline
+		sh.ll.MoveToFront(el)
+	} else {
+		el := sh.ll.PushFront(&entry{key: k, val: val, size: size, deadline: deadline})
+		sh.m[k] = el
+		s.nEntries.Add(1)
+		s.nBytes.Add(size)
+		sh.bytes += size
+	}
+	s.evictLocked(sh)
+	sh.mu.Unlock()
+	s.publish()
+}
+
+// evictLocked trims the shard to its entry cap and its share of the
+// byte cap, oldest first.
+func (s *store) evictLocked(sh *shard) {
+	for sh.ll.Len() > s.maxEntries || (s.maxBytes > 0 && sh.bytes > s.maxBytes && sh.ll.Len() > 0) {
+		el := sh.ll.Back()
+		if el == nil {
+			return
+		}
+		s.removeLocked(sh, el)
+		s.nEvicted.Add(1)
+		s.m.evictions.Inc()
+	}
+}
+
+func (s *store) removeLocked(sh *shard, el *list.Element) {
+	en := el.Value.(*entry)
+	sh.ll.Remove(el)
+	delete(sh.m, en.key)
+	s.nEntries.Add(-1)
+	s.nBytes.Add(-en.size)
+	sh.bytes -= en.size
+}
+
+func (s *store) clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.ll.Back(); el != nil; el = sh.ll.Back() {
+			s.removeLocked(sh, el)
+		}
+		sh.mu.Unlock()
+	}
+	s.publish()
+}
+
+// publish mirrors occupancy into the registry gauges.
+func (s *store) publish() {
+	s.m.entries.Set(s.nEntries.Load())
+	s.m.bytes.Set(s.nBytes.Load())
+}
+
+func (s *store) len() int64      { return s.nEntries.Load() }
+func (s *store) bytes() int64    { return s.nBytes.Load() }
+func (s *store) evicted() int64  { return s.nEvicted.Load() }
+func (s *store) expiredN() int64 { return s.nExpired.Load() }

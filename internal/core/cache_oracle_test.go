@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"apuama/internal/engine"
+	"apuama/internal/tpch"
+)
+
+// TestOracleCacheEquivalence is the cache-on differential oracle: every
+// SVP-eligible query at every partition count runs twice — the second
+// pass must be served entirely from cache and be bit-identical to the
+// cold pass (not merely ULP-close: a hit returns the composed result,
+// so even float composition order is frozen).
+func TestOracleCacheEquivalence(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		s := buildStack(t, n, cacheOptions())
+		cold := map[int]*engine.Result{}
+		for _, qn := range tpch.QueryNumbers {
+			res, err := s.ctl.Query(tpch.MustQuery(qn))
+			if err != nil {
+				t.Fatalf("n=%d Q%d cold: %v", n, qn, err)
+			}
+			cold[qn] = res
+		}
+		st := s.eng.Snapshot()
+		if st.CacheMisses != int64(len(tpch.QueryNumbers)) {
+			t.Fatalf("n=%d: cold pass misses %d, want %d", n, st.CacheMisses, len(tpch.QueryNumbers))
+		}
+		subQueriesAfterCold := st.SubQueries
+		for _, qn := range tpch.QueryNumbers {
+			res, err := s.ctl.Query(tpch.MustQuery(qn))
+			if err != nil {
+				t.Fatalf("n=%d Q%d warm: %v", n, qn, err)
+			}
+			assertBitIdentical(t, fmt.Sprintf("n=%d Q%d warm", n, qn), res, cold[qn])
+		}
+		st = s.eng.Snapshot()
+		if st.CacheHits != int64(len(tpch.QueryNumbers)) {
+			t.Errorf("n=%d: warm pass hits %d, want %d (misses %d)",
+				n, st.CacheHits, len(tpch.QueryNumbers), st.CacheMisses)
+		}
+		if st.SubQueries != subQueriesAfterCold {
+			t.Errorf("n=%d: warm pass dispatched %d sub-queries",
+				n, st.SubQueries-subQueriesAfterCold)
+		}
+		// The cold pass must have gone through SVP for real — a silent
+		// pass-through would make the warm-pass assertions vacuous.
+		if st.SVPQueries != int64(len(tpch.QueryNumbers)) {
+			t.Errorf("n=%d: %d SVP executions, want %d (fallbacks: %v)",
+				n, st.SVPQueries, len(tpch.QueryNumbers), st.FallbackReasons)
+		}
+	}
+}
+
+// TestOracleCacheUnderWrites interleaves committed writes with repeated
+// queries: each write bumps the epoch, so the cached entry must NOT be
+// served — every post-write answer is recomputed and checked against a
+// fresh single-node reference.
+func TestOracleCacheUnderWrites(t *testing.T) {
+	s := buildStack(t, 4, cacheOptions())
+	for round, qn := range tpch.QueryNumbers {
+		text := tpch.MustQuery(qn)
+		// Warm the entry, then invalidate it with a committed write.
+		if _, err := s.ctl.Query(text); err != nil {
+			t.Fatalf("round %d warm-up: %v", round, err)
+		}
+		del := fmt.Sprintf("delete from orders where o_orderkey = %d", round*7+1)
+		if _, err := s.ctl.Exec(del); err != nil {
+			t.Fatalf("round %d write: %v", round, err)
+		}
+		before := s.eng.Snapshot()
+		got, err := s.ctl.Query(text)
+		if err != nil {
+			t.Fatalf("round %d Q%d: %v", round, qn, err)
+		}
+		after := s.eng.Snapshot()
+		if after.CacheHits != before.CacheHits {
+			t.Fatalf("round %d Q%d: served from cache across a committed write", round, qn)
+		}
+		if after.CacheMisses != before.CacheMisses+1 {
+			t.Fatalf("round %d Q%d: expected one miss, got %d",
+				round, qn, after.CacheMisses-before.CacheMisses)
+		}
+		assertRowsULP(t, fmt.Sprintf("round %d Q%d", round, qn), got, s.single(t, text))
+
+		// And the recomputed entry is immediately hot again.
+		rerun, err := s.ctl.Query(text)
+		if err != nil {
+			t.Fatalf("round %d Q%d rerun: %v", round, qn, err)
+		}
+		final := s.eng.Snapshot()
+		if final.CacheHits != after.CacheHits+1 {
+			t.Fatalf("round %d Q%d: recomputed entry not served", round, qn)
+		}
+		assertBitIdentical(t, fmt.Sprintf("round %d Q%d rerun", round, qn), rerun, got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apuama/internal/cache"
 	"apuama/internal/cluster"
 	"apuama/internal/costmodel"
 	"apuama/internal/engine"
@@ -72,6 +73,14 @@ type Options struct {
 	// undelivered batches (backpressure). Default 8.
 	GatherBudget int
 
+	// Cache sizes the versioned result cache and in-flight query
+	// sharing layer (internal/cache). The zero value disables caching:
+	// every query executes. Entries are keyed by (canonical query
+	// fingerprint, cluster txn-counter epoch), so any committed write
+	// implicitly invalidates — see DESIGN.md "Result caching & work
+	// sharing".
+	Cache cache.Config
+
 	// QueryTimeout is the per-query deadline applied by RunSVP when the
 	// caller's context carries none. Zero disables the default deadline.
 	QueryTimeout time.Duration
@@ -127,6 +136,7 @@ type Engine struct {
 	gate    *blocker
 	opts    Options
 	net     *costmodel.Meter
+	cache   *cache.Cache // nil unless Options.Cache enables it
 
 	// st is the engine's counter block (atomic fields; see stats.go) and
 	// m the pre-resolved metric handles mirroring it into Options.Metrics.
@@ -152,6 +162,12 @@ type Stats struct {
 	StreamedBatches      int64 // partial batches streamed into the composer
 	StreamedRows         int64 // partial rows streamed into the composer
 	LimitShortCircuits   int64 // gathers stopped early by a settled pushed-down LIMIT
+	CacheHits            int64 // queries served from the versioned result cache
+	CacheMisses          int64 // cache lookups that executed for real
+	CacheStaleHits       int64 // cache hits served from behind the head epoch
+	CacheShared          int64 // queries that shared another's in-flight execution
+	CachePartialHits     int64 // partitions served from the partial cache (no dispatch)
+	CachePartialMisses   int64 // partition probes that dispatched for real
 	BarrierWaits         time.Duration
 	// FallbackReasons buckets SVP-ineligible queries by stable reason
 	// class (see FallbackClass), keeping cardinality bounded.
@@ -185,6 +201,7 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 		gate:    newBlocker(),
 		opts:    opts,
 		net:     costmodel.NewMeter(db.Config()),
+		cache:   cache.New(opts.Cache, opts.Metrics),
 		m:       newEngineMetrics(opts.Metrics),
 	}
 	e.st.wire(opts.Metrics)
@@ -208,6 +225,10 @@ func (e *Engine) Backends() []cluster.Backend {
 
 // Procs exposes the node processors (experiments inspect node meters).
 func (e *Engine) Procs() []*NodeProcessor { return e.procs }
+
+// Cache exposes the query cache (nil when disabled); the daemon's
+// /debug/cache endpoint and tests read its occupancy stats.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
 
 // NetMeter exposes the engine's partial-result network meter.
 func (e *Engine) NetMeter() *costmodel.Meter { return e.net }
@@ -295,9 +316,82 @@ func (e *Engine) countFallback(err error) {
 	e.m.reg.Counter(obs.Labeled(obs.MFallbacks, "reason", class)).Inc()
 }
 
-// RunSVP executes one query with Simple Virtual Partitioning: plan the
+// RunSVP executes one query with Simple Virtual Partitioning, fronted
+// by the versioned result cache when one is configured: the canonical
+// fingerprint is looked up at the cluster's head epoch (optionally
+// accepting results up to MaxStaleEpochs behind), concurrent identical
+// queries at one epoch share a single execution (singleflight), and a
+// computed result is filled back keyed by the barrier snapshot it was
+// pinned to. Per-request control bits (cache.WithControl) can bypass
+// the cache or widen the staleness bound. ErrNotEligible means the
+// caller should fall back to pass-through.
+func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Result, error) {
+	ctl := cache.ControlFrom(ctx)
+	if e.cache == nil || ctl.NoCache {
+		res, _, err := e.runSVP(ctx, sel, false)
+		return res, err
+	}
+	qspan := obs.SpanFrom(ctx)
+	fp := sql.FingerprintStmt(sel)
+	maxStale := e.cache.StaleBound(ctl)
+	epoch := e.headEpoch()
+	if res, at, ok := e.cache.Lookup(fp, epoch, maxStale); ok {
+		e.st.cacheHits.Inc()
+		qspan.Annotate("cache", "hit")
+		if at < epoch {
+			e.st.cacheStaleHits.Inc()
+			qspan.Annotate("cache_stale_epochs", strconv.FormatInt(epoch-at, 10))
+		}
+		return res, nil
+	}
+	e.st.cacheMisses.Inc()
+	res, shared, err := e.cache.Do(ctx, fp, epoch, func() (*engine.Result, error) {
+		// Double-checked: a leader that finished between this caller's
+		// lookup and its flight-table probe has already filled the epoch.
+		if res, _, ok := e.cache.Peek(fp, epoch, maxStale); ok {
+			return res, nil
+		}
+		res, snapshot, err := e.runSVP(ctx, sel, true)
+		if err == nil {
+			// The fill is keyed by the barrier snapshot the sub-queries
+			// were pinned to — the epoch the result is actually valid at
+			// (>= the lookup epoch when a write slipped in before the
+			// barrier converged).
+			e.cache.Fill(fp, snapshot, res)
+		}
+		return res, err
+	})
+	if shared {
+		e.st.cacheShared.Inc()
+		qspan.Annotate("cache", "shared")
+	}
+	return res, err
+}
+
+// headEpoch is the cluster's current transaction-counter high water
+// mark across live replicas: the epoch cache lookups happen at. Every
+// committed write bumps it, which is what makes cache invalidation
+// implicit.
+func (e *Engine) headEpoch() int64 {
+	var h int64
+	for _, p := range e.procs {
+		if p.Down() {
+			continue
+		}
+		if w := p.TxnCounter(); w > h {
+			h = w
+		}
+	}
+	return h
+}
+
+// runSVP executes one query with Simple Virtual Partitioning: plan the
 // rewrite, run the consistency barrier, dispatch one sub-query per node
-// pinned to the common snapshot, and compose the partial results.
+// pinned to the common snapshot, and compose the partial results. It
+// returns the snapshot alongside the result so the caching layer can
+// version its fill. usePartial lets warm partitions be served from the
+// partition-level partial cache (and cold ones fill it) — only the
+// caching path sets it.
 // ErrNotEligible means the caller should fall back to pass-through.
 //
 // Sub-query results stream batch-at-a-time into the composer: the
@@ -319,7 +413,7 @@ func (e *Engine) countFallback(err error) {
 // Attempts are identity-tagged, so the sink can discard a partially
 // streamed attempt that fails or loses its hedge race after delivering
 // batches.
-func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Result, error) {
+func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial bool) (*engine.Result, int64, error) {
 	if e.opts.QueryTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
@@ -334,19 +428,19 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	rw, err := PlanSVP(sel, e.catalog)
 	if err != nil {
 		planSpan.End()
-		return nil, err
+		return nil, 0, err
 	}
 	lo, hi, err := e.catalog.KeyDomain(e.db, rw.Table)
 	planSpan.End()
 	if err != nil {
-		return nil, notEligible(ReasonKeyDomain, "%v", err)
+		return nil, 0, notEligible(ReasonKeyDomain, "%v", err)
 	}
 	// A crashed node drops out of the fan-out: the survivors cover the
 	// whole key domain with fewer, larger partitions (degraded
 	// intra-query parallelism rather than failure).
 	procs := e.liveProcs()
 	if len(procs) == 0 {
-		return nil, fmt.Errorf("no live nodes")
+		return nil, 0, fmt.Errorf("no live nodes")
 	}
 	n := len(procs)
 
@@ -365,7 +459,7 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 		snapshot, err = e.awaitFreshness(ctx, procs, e.opts.MaxStaleness)
 		if err != nil {
 			barSpan.End()
-			return nil, err
+			return nil, 0, err
 		}
 	default:
 		e.gate.block()
@@ -373,7 +467,7 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 		if err != nil {
 			e.gate.unblock()
 			barSpan.End()
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	barWait := time.Since(start)
@@ -389,7 +483,8 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			defer e.gate.unblock()
 		}
 		e.st.svpQueries.Inc()
-		return e.runAVP(ctx, procs, rw, snapshot, lo, hi)
+		res, err := e.runAVP(ctx, procs, rw, snapshot, lo, hi)
+		return res, snapshot, err
 	}
 
 	// workCtx cancels every in-flight sub-query stream the moment the
@@ -488,22 +583,51 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 			}
 		}()
 	}
+	// Partition-level partial cache: before dispatching, probe each
+	// partition's (sub-query fingerprint, VPA range, snapshot) key. A
+	// warm partition skips dispatch entirely and feeds the composer as a
+	// synthetic attempt below; only the missing ranges go to the nodes.
+	// Exact-snapshot matches only — composing partitions captured at
+	// different epochs would yield a result valid at no single snapshot.
+	usePartial = usePartial && e.cache.PartialEnabled()
+	var partialFP sql.Fingerprint
+	if usePartial {
+		partialFP = sql.FingerprintStmt(rw.Partial)
+	}
 	dispSpan := qspan.Child("dispatch")
 	dispStart := time.Now()
 	subs := make([]*sql.SelectStmt, n)
+	ranges := make([][2]int64, n)
+	cachedRows := make([][]sqltypes.Row, n)
+	cachedParts := make([]bool, n)
+	dispatched := 0
 	for i, p := range procs {
+		v1, v2 := Partition(lo, hi, n, i)
+		ranges[i] = [2]int64{v1, v2}
+		if usePartial {
+			if rows, ok := e.cache.LookupPartial(partialFP, v1, v2, snapshot); ok {
+				cachedRows[i], cachedParts[i] = rows, true
+				e.st.cachePartialHits.Inc()
+				continue
+			}
+			e.st.cachePartialMisses.Inc()
+		}
 		subs[i] = rw.SubQuery(i, n, lo, hi)
 		dispatch(p, i, subs[i], false)
+		dispatched++
 	}
 	// "When all sub-queries are sent and started by the DBMSs, update
 	// transactions are unblocked."
 	if barrier {
 		e.gate.unblock()
 	}
+	if dispatched < n {
+		dispSpan.Annotate("cached_partitions", strconv.Itoa(n-dispatched))
+	}
 	dispSpan.End()
 	e.m.dispatch.Observe(time.Since(dispStart))
 	e.st.svpQueries.Inc()
-	e.st.subQueries.Add(int64(n))
+	e.st.subQueries.Add(int64(dispatched))
 
 	// Gather with straggler hedging: once a majority of partitions has
 	// answered, pending partitions past HedgeMultiplier × the median
@@ -521,7 +645,9 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	hedged := make([]bool, n)
 	inflight := make([]int, n)
 	for i := range inflight {
-		inflight[i] = 1
+		if !cachedParts[i] {
+			inflight[i] = 1
+		}
 	}
 	rowsByAttempt := map[int64]int64{}
 	var completions []time.Duration
@@ -554,8 +680,41 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 	sinkErr := func(err error) error {
 		return fmt.Errorf("composer: %w", err)
 	}
+	// Warm partitions feed the sink as synthetic attempts before the
+	// gather starts — the same observe/commit path as live streams, so
+	// partition-order composition and LIMIT accounting are unchanged.
+	for i := range cachedParts {
+		if !cachedParts[i] {
+			continue
+		}
+		attempt := attemptSeq.Add(1)
+		b := sqltypes.GetBatch()
+		b.Rows = append(b.Rows, cachedRows[i]...)
+		if err := sink.observe(i, attempt, b); err != nil {
+			return nil, 0, sinkErr(err)
+		}
+		if err := sink.commit(i, attempt); err != nil {
+			return nil, 0, sinkErr(err)
+		}
+		done[i] = true
+		doneRows[i] = int64(len(cachedRows[i]))
+		totalRows += doneRows[i]
+		completed++
+	}
+	if earlyStop && completed < n && prefixHolds(done, doneRows, rw.PushedLimit) {
+		settled = true
+		e.st.limitShortCircuits.Inc()
+		cancelWork()
+	}
+	// keepRows retains each live attempt's streamed rows so a partition
+	// winner can fill the partial cache (rows stay valid after the sink
+	// pools the batch — the batch ownership contract).
+	var keepRows map[int64][]sqltypes.Row
+	if usePartial {
+		keepRows = map[int64][]sqltypes.Row{}
+	}
 gather:
-	for outstanding := n; completed < n && outstanding > 0; {
+	for outstanding := dispatched; !settled && completed < n && outstanding > 0; {
 		select {
 		case m := <-msgs:
 			switch {
@@ -575,23 +734,28 @@ gather:
 				e.st.streamedBatches.Inc()
 				e.st.streamedRows.Add(nb)
 				rowsByAttempt[m.attempt] += nb
+				if keepRows != nil {
+					keepRows[m.attempt] = append(keepRows[m.attempt], m.batch.Rows...)
+				}
 				if err := sink.observe(m.idx, m.attempt, m.batch); err != nil {
-					return nil, sinkErr(err)
+					return nil, 0, sinkErr(err)
 				}
 			case m.retry:
 				// The worker abandoned this attempt and is retrying or
 				// failing over: drop its rows, no completion accounting.
 				if err := sink.abort(m.idx, m.attempt); err != nil {
-					return nil, sinkErr(err)
+					return nil, 0, sinkErr(err)
 				}
 				delete(rowsByAttempt, m.attempt)
+				delete(keepRows, m.attempt)
 			case m.err != nil:
 				outstanding--
 				inflight[m.idx]--
 				if err := sink.abort(m.idx, m.attempt); err != nil {
-					return nil, sinkErr(err)
+					return nil, 0, sinkErr(err)
 				}
 				delete(rowsByAttempt, m.attempt)
+				delete(keepRows, m.attempt)
 				if done[m.idx] {
 					continue
 				}
@@ -608,9 +772,10 @@ gather:
 					// A duplicate answer for a hedged partition: the
 					// earlier arrival already won this race.
 					if err := sink.abort(m.idx, m.attempt); err != nil {
-						return nil, sinkErr(err)
+						return nil, 0, sinkErr(err)
 					}
 					delete(rowsByAttempt, m.attempt)
+					delete(keepRows, m.attempt)
 					continue
 				}
 				done[m.idx] = true
@@ -627,7 +792,11 @@ gather:
 				totalRows += doneRows[m.idx]
 				delete(rowsByAttempt, m.attempt)
 				if err := sink.commit(m.idx, m.attempt); err != nil {
-					return nil, sinkErr(err)
+					return nil, 0, sinkErr(err)
+				}
+				if keepRows != nil {
+					e.cache.FillPartial(partialFP, ranges[m.idx][0], ranges[m.idx][1], snapshot, keepRows[m.attempt])
+					delete(keepRows, m.attempt)
 				}
 				if earlyStop && prefixHolds(done, doneRows, rw.PushedLimit) {
 					settled = true
@@ -663,7 +832,7 @@ gather:
 			// Abandon the gather: the deferred cancelWork releases the
 			// workers' pending sends.
 			e.st.deadlineAborts.Inc()
-			return nil, fmt.Errorf("query abandoned at deadline: %w", ctx.Err())
+			return nil, 0, fmt.Errorf("query abandoned at deadline: %w", ctx.Err())
 		}
 	}
 	if !settled && completed < n {
@@ -672,9 +841,9 @@ gather:
 		}
 		if errors.Is(firstErr, context.DeadlineExceeded) || errors.Is(firstErr, context.Canceled) {
 			e.st.deadlineAborts.Inc()
-			return nil, fmt.Errorf("query abandoned at deadline: %w", firstErr)
+			return nil, 0, fmt.Errorf("query abandoned at deadline: %w", firstErr)
 		}
-		return nil, fmt.Errorf("sub-query failed: %w", firstErr)
+		return nil, 0, fmt.Errorf("sub-query failed: %w", firstErr)
 	}
 	gatherSpan.End()
 	e.m.gather.Observe(time.Since(gatherStart))
@@ -692,12 +861,12 @@ gather:
 		span.End()
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			e.st.deadlineAborts.Inc()
-			return nil, fmt.Errorf("query abandoned at deadline: %w", err)
+			return nil, 0, fmt.Errorf("query abandoned at deadline: %w", err)
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	span.End()
-	return res, nil
+	return res, snapshot, nil
 }
 
 // prefixHolds reports whether the committed prefix of partitions already

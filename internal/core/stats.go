@@ -50,6 +50,13 @@ type engineStats struct {
 	streamedRows       statCounter
 	limitShortCircuits statCounter
 
+	cacheHits          statCounter
+	cacheMisses        statCounter
+	cacheStaleHits     statCounter
+	cacheShared        statCounter
+	cachePartialHits   statCounter
+	cachePartialMisses statCounter
+
 	maxStaleness atomic.Int64
 	barrierWait  atomic.Int64 // nanoseconds
 
@@ -76,6 +83,12 @@ func (st *engineStats) wire(reg *obs.Registry) {
 	st.streamedBatches.m = reg.Counter(obs.MGatherBatches)
 	st.streamedRows.m = reg.Counter(obs.MGatherRows)
 	st.limitShortCircuits.m = reg.Counter(obs.MLimitShortCircuit)
+	st.cacheHits.m = reg.Counter(obs.MCacheHits)
+	st.cacheMisses.m = reg.Counter(obs.MCacheMisses)
+	st.cacheStaleHits.m = reg.Counter(obs.MCacheStaleHits)
+	st.cacheShared.m = reg.Counter(obs.MCacheShared)
+	st.cachePartialHits.m = reg.Counter(obs.MCachePartialHits)
+	st.cachePartialMisses.m = reg.Counter(obs.MCachePartialMisses)
 }
 
 // observeStaleness records a freshness-mode read d writes behind the
@@ -108,6 +121,12 @@ func (st *engineStats) snapshot() Stats {
 		StreamedBatches:      st.streamedBatches.Load(),
 		StreamedRows:         st.streamedRows.Load(),
 		LimitShortCircuits:   st.limitShortCircuits.Load(),
+		CacheHits:            st.cacheHits.Load(),
+		CacheMisses:          st.cacheMisses.Load(),
+		CacheStaleHits:       st.cacheStaleHits.Load(),
+		CacheShared:          st.cacheShared.Load(),
+		CachePartialHits:     st.cachePartialHits.Load(),
+		CachePartialMisses:   st.cachePartialMisses.Load(),
 		BarrierWaits:         time.Duration(st.barrierWait.Load()),
 		FallbackReasons:      map[string]int64{},
 	}

@@ -7,6 +7,12 @@
 //	db, err := sql.Open("apuama", "127.0.0.1:7654")
 //	rows, err := db.Query("select count(*) from orders")
 //
+// The DSN accepts optional cache directives as query parameters, applied
+// to every statement on the connection:
+//
+//	sql.Open("apuama", "127.0.0.1:7654?nocache=1")    // bypass the result cache
+//	sql.Open("apuama", "127.0.0.1:7654?maxstale=8")   // accept results ≤ 8 writes stale
+//
 // The dialect has no placeholder support; statements with bind arguments
 // are rejected.
 package driver
@@ -16,6 +22,9 @@ import (
 	"database/sql/driver"
 	"errors"
 	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
 	"time"
 
 	"apuama/internal/sqltypes"
@@ -29,21 +38,61 @@ func init() {
 // Driver implements driver.Driver.
 type Driver struct{}
 
-// Open dials a wire server; the DSN is its host:port.
+// Open dials a wire server; the DSN is its host:port, optionally
+// followed by ?nocache=1 and/or ?maxstale=N cache directives.
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
-	c, err := wire.Dial(dsn)
+	addr, opt, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
-	return &conn{c: c}, nil
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: c, opt: opt}, nil
+}
+
+// parseDSN splits "host:port?k=v&..." into the dial address and the
+// connection's cache directives.
+func parseDSN(dsn string) (string, wire.QueryOptions, error) {
+	var opt wire.QueryOptions
+	addr, rawQuery, found := strings.Cut(dsn, "?")
+	if !found {
+		return addr, opt, nil
+	}
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return "", opt, fmt.Errorf("apuama: bad DSN parameters %q: %w", rawQuery, err)
+	}
+	for k, vs := range q {
+		v := vs[len(vs)-1]
+		switch k {
+		case "nocache":
+			on, err := strconv.ParseBool(v)
+			if err != nil {
+				return "", opt, fmt.Errorf("apuama: bad nocache value %q", v)
+			}
+			opt.NoCache = on
+		case "maxstale":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return "", opt, fmt.Errorf("apuama: bad maxstale value %q", v)
+			}
+			opt.MaxStaleEpochs = n
+		default:
+			return "", opt, fmt.Errorf("apuama: unknown DSN parameter %q", k)
+		}
+	}
+	return addr, opt, nil
 }
 
 type conn struct {
-	c *wire.Client
+	c   *wire.Client
+	opt wire.QueryOptions
 }
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	return &stmt{c: c.c, query: query}, nil
+	return &stmt{c: c.c, query: query, opt: c.opt}, nil
 }
 
 func (c *conn) Close() error { return c.c.Close() }
@@ -60,6 +109,7 @@ func (c *conn) Ping() error { return c.c.Ping() }
 type stmt struct {
 	c     *wire.Client
 	query string
+	opt   wire.QueryOptions
 }
 
 func (s *stmt) Close() error { return nil }
@@ -82,7 +132,7 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if len(args) > 0 {
 		return nil, errors.New("apuama: bind arguments are not supported")
 	}
-	rd, err := s.c.QueryStream(s.query)
+	rd, err := s.c.QueryStreamOpt(s.query, s.opt)
 	if err != nil {
 		return nil, err
 	}

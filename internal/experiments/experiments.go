@@ -11,6 +11,7 @@ import (
 	"io"
 	"time"
 
+	"apuama/internal/cache"
 	"apuama/internal/cluster"
 	"apuama/internal/core"
 	"apuama/internal/costmodel"
@@ -52,6 +53,9 @@ type Config struct {
 	// Skew > 1 loads the key-skewed TPC-H variant (hot low keys carry
 	// Skew times the line items); see the skew ablation.
 	Skew float64
+	// Cache enables the versioned result cache (zero = off, the paper
+	// configuration); the cache experiment sets it.
+	Cache cache.Config
 }
 
 // Default returns the configuration used for the recorded runs in
@@ -128,6 +132,7 @@ func buildStack(n int, cfg Config) (*stack, error) {
 	opts.NoBarrier = cfg.NoBarrier
 	opts.MaxStaleness = cfg.MaxStaleness
 	opts.ForceIndexScan = !cfg.AllowSeqscan
+	opts.Cache = cfg.Cache
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{Cost: cfg.Cost})
 	return &stack{db: db, nodes: nodes, eng: eng, ctl: ctl}, nil

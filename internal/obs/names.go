@@ -42,6 +42,21 @@ const (
 	MTransientRetries = "apuama_transient_retries_total" // controller-level retries
 	MReadFailovers    = "apuama_read_failovers_total"
 
+	// Result cache & work sharing (internal/cache).
+	MCacheHits           = "apuama_cache_hits_total"           // composed results served from cache
+	MCacheMisses         = "apuama_cache_misses_total"         // lookups that executed for real
+	MCacheStaleHits      = "apuama_cache_stale_hits_total"     // hits served from behind the head epoch
+	MCacheShared         = "apuama_cache_shared_total"         // queries that shared an in-flight execution
+	MCacheFills          = "apuama_cache_fills_total"          // composed results inserted
+	MCacheEvictions      = "apuama_cache_evictions_total"      // entries evicted by size caps
+	MCacheExpired        = "apuama_cache_expired_total"        // entries dropped at their TTL
+	MCacheBytes          = "apuama_cache_bytes"                // gauge: resident bytes, result layer
+	MCacheEntries        = "apuama_cache_entries"              // gauge: resident composed results
+	MCachePartialHits    = "apuama_cache_partial_hits_total"   // partitions served without dispatch
+	MCachePartialMisses  = "apuama_cache_partial_misses_total" // partition probes that dispatched
+	MCachePartialBytes   = "apuama_cache_partial_bytes"        // gauge: resident bytes, partial layer
+	MCachePartialEntries = "apuama_cache_partial_entries"      // gauge: resident partition entries
+
 	// Node processors.
 	MPoolWait     = "apuama_pool_wait_seconds"     // connection-pool admission wait, labeled {node=...}
 	MNodeInflight = "apuama_node_inflight"         // gauge, labeled {node=...}

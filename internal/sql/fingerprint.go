@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint is a stable 64-bit identity for a query's canonical form.
+// Two statements that differ only in whitespace, keyword/identifier
+// case, or the order of literals inside an IN list fingerprint equally;
+// anything that changes semantics (different literals, predicates,
+// projections, LIMIT) changes the fingerprint. The result cache in
+// internal/cache keys on it, paired with the cluster epoch.
+type Fingerprint uint64
+
+// FingerprintQuery parses src and fingerprints the statement. Lexing
+// already folds keywords and identifiers to lower case and discards
+// whitespace, so the canonical text depends only on the parsed shape.
+func FingerprintQuery(src string) (Fingerprint, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return FingerprintStmt(stmt), nil
+}
+
+// FingerprintStmt fingerprints a parsed statement: render the canonical
+// normalized text and hash it (FNV-1a 64). Select statements are
+// canonicalized on a clone — the caller's AST is never mutated.
+func FingerprintStmt(stmt Statement) Fingerprint {
+	text := stmt.SQL()
+	if sel, ok := stmt.(*SelectStmt); ok {
+		text = CanonicalSelect(sel).SQL()
+	}
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return Fingerprint(h.Sum64())
+}
+
+// CanonicalSelect returns a normalized deep copy of the statement:
+// every IN list whose elements are all literals is sorted by rendered
+// form, so `x in (3, 1, 2)` and `x in (1, 2, 3)` share one canonical
+// text. (IN is a disjunction — element order never affects results.)
+// The renderer supplies the rest of the normalization: one-space
+// separation and lower-cased keywords/identifiers.
+func CanonicalSelect(sel *SelectStmt) *SelectStmt {
+	out := CloneSelect(sel)
+	canonicalizeSelect(out)
+	return out
+}
+
+func canonicalizeSelect(s *SelectStmt) {
+	WalkSelect(s, func(e Expr) bool {
+		if in, ok := e.(*InExpr); ok && in.Sub == nil && allLiterals(in.List) {
+			sort.Slice(in.List, func(i, j int) bool {
+				return in.List[i].SQL() < in.List[j].SQL()
+			})
+		}
+		return true
+	})
+}
+
+func allLiterals(list []Expr) bool {
+	for _, e := range list {
+		if _, ok := e.(*Literal); !ok {
+			return false
+		}
+	}
+	return true
+}

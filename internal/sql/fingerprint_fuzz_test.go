@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzFingerprint asserts the fingerprinter's contract over arbitrary
+// input:
+//
+//  1. FingerprintQuery never panics — parse failures must surface as
+//     errors.
+//  2. Canonical stability: the fingerprint of the rendered canonical
+//     text equals the fingerprint of the original (fingerprinting is
+//     idempotent under its own normalization).
+//  3. Semantic-equivalence invariance for the normalizations the
+//     fingerprinter promises: re-casing keywords/identifiers outside
+//     string literals and reversing all-literal IN lists must not
+//     change the fingerprint.
+//
+// The seed corpus in testdata/fuzz/FuzzFingerprint holds equivalence
+// shapes: mixed-case paper queries, permuted IN lists, nested
+// sub-selects carrying IN lists, and inputs whose literals must NOT be
+// treated as reorderable.
+func FuzzFingerprint(f *testing.F) {
+	seeds := []string{
+		"select 1 from t",
+		"SELECT   CoUnT(*)   FROM Orders",
+		"select count(*) from orders where o_orderkey in (3, 1, 2)",
+		"select * from t where a in (b, 1)",
+		"select * from orders where exists (select 1 from lineitem where l_linenumber in (2, 1))",
+		"select l_returnflag, sum(l_quantity) from lineitem where l_shipdate <= '1998-09-02' group by l_returnflag order by l_returnflag",
+		"select o_orderpriority, count(*) from orders where o_orderdate >= date '1993-07-01' group by o_orderpriority",
+		"select * from t where s in ('b', 'A', 'a')",
+		"select case when a in (2, 1) then 'p' else 'n' end from t",
+		"select -1e308, 9223372036854775807, '' from t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 || !utf8.ValidString(src) {
+			t.Skip()
+		}
+		fp, err := FingerprintQuery(src)
+		if err != nil {
+			return // rejecting input is fine; panicking is not
+		}
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("fingerprinted but does not parse: %q: %v", src, err)
+		}
+
+		// Idempotence: the canonical rendering fingerprints identically.
+		if fp2, err := FingerprintQuery(stmt.SQL()); err != nil {
+			t.Fatalf("canonical text does not re-fingerprint\ninput: %q\ntext:  %q\nerr:   %v", src, stmt.SQL(), err)
+		} else if fp2 != fp {
+			t.Fatalf("fingerprint not idempotent\ninput: %q\ntext:  %q\n%x != %x", src, stmt.SQL(), fp, fp2)
+		}
+
+		// Case invariance: upper-case everything outside string literals.
+		// The lexer folds case back, so semantics are unchanged as long
+		// as the variant still parses (it can fail only if the original
+		// relied on case inside a quoted region we misidentify — skip).
+		if upper := uppercaseOutsideQuotes(stmt.SQL()); upper != stmt.SQL() {
+			if fpU, err := FingerprintQuery(upper); err == nil && fpU != fp {
+				t.Fatalf("case-variant fingerprint differs\norig:  %q -> %x\nupper: %q -> %x", stmt.SQL(), fp, upper, fpU)
+			}
+		}
+
+		// IN-order invariance: reverse every all-literal IN list on a
+		// clone; the fingerprint must not move.
+		if sel, ok := stmt.(*SelectStmt); ok {
+			rev := CloneSelect(sel)
+			changed := false
+			WalkSelect(rev, func(e Expr) bool {
+				if in, ok := e.(*InExpr); ok && in.Sub == nil && allLiterals(in.List) && len(in.List) > 1 {
+					for i, j := 0, len(in.List)-1; i < j; i, j = i+1, j-1 {
+						in.List[i], in.List[j] = in.List[j], in.List[i]
+					}
+					changed = true
+				}
+				return true
+			})
+			if changed {
+				if fpR := FingerprintStmt(rev); fpR != fp {
+					t.Fatalf("IN-order variant fingerprint differs\norig: %q -> %x\nrev:  %q -> %x", stmt.SQL(), fp, rev.SQL(), fpR)
+				}
+			}
+		}
+	})
+}
+
+// uppercaseOutsideQuotes upper-cases ASCII letters outside single-quoted
+// string literals ('' is the dialect's escaped quote, which this scan
+// handles naturally: it closes and immediately reopens a quoted region).
+func uppercaseOutsideQuotes(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\'' {
+			inStr = !inStr
+		}
+		if !inStr && 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package sql
+
+import "testing"
+
+func mustFP(t *testing.T, src string) Fingerprint {
+	t.Helper()
+	fp, err := FingerprintQuery(src)
+	if err != nil {
+		t.Fatalf("FingerprintQuery(%q): %v", src, err)
+	}
+	return fp
+}
+
+func TestFingerprintNormalization(t *testing.T) {
+	// Each group lists queries that must share one fingerprint.
+	groups := [][]string{
+		{
+			"select 1 from t",
+			"SELECT 1 FROM T",
+			"  select\t1  from  t ",
+		},
+		{
+			"select count(*) from orders where o_orderkey in (3, 1, 2)",
+			"select count(*) from orders where o_orderkey in (1, 2, 3)",
+			"SELECT COUNT(*) FROM ORDERS WHERE O_ORDERKEY IN (2, 3, 1)",
+		},
+		{
+			"select l_returnflag, sum(l_quantity) from lineitem group by l_returnflag",
+			"select L_RETURNFLAG, SUM(l_quantity) from LINEITEM group by l_returnflag",
+		},
+		{
+			// IN-list normalization reaches nested sub-selects too.
+			"select * from orders where exists (select 1 from lineitem where l_linenumber in (2, 1))",
+			"select * from orders where exists (select 1 from lineitem where l_linenumber in (1, 2))",
+		},
+	}
+	for _, g := range groups {
+		want := mustFP(t, g[0])
+		for _, src := range g[1:] {
+			if got := mustFP(t, src); got != want {
+				t.Errorf("fingerprint mismatch within group:\n  %q -> %x\n  %q -> %x", g[0], want, src, got)
+			}
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	distinct := []string{
+		"select 1 from t",
+		"select 2 from t",
+		"select 1 from u",
+		"select count(*) from orders",
+		"select count(*) from lineitem",
+		"select count(*) from orders where o_orderkey in (1, 2, 3)",
+		"select count(*) from orders where o_orderkey in (1, 2, 4)",
+		"select count(*) from orders where o_orderkey in (1, 2)",
+		"select count(*) from orders limit 5",
+		"select distinct o_orderkey from orders",
+	}
+	seen := map[Fingerprint]string{}
+	for _, src := range distinct {
+		fp := mustFP(t, src)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("collision: %q and %q both fingerprint %x", prev, src, fp)
+		}
+		seen[fp] = src
+	}
+}
+
+func TestFingerprintDoesNotMutateAST(t *testing.T) {
+	stmt, err := Parse("select * from orders where o_orderkey in (3, 1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stmt.SQL()
+	FingerprintStmt(stmt)
+	if after := stmt.SQL(); after != before {
+		t.Fatalf("FingerprintStmt mutated the statement:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+func TestFingerprintParseError(t *testing.T) {
+	if _, err := FingerprintQuery("select from where"); err == nil {
+		t.Fatal("want a parse error for malformed input")
+	}
+}
+
+func TestFingerprintNonLiteralINUntouched(t *testing.T) {
+	// An IN list containing a non-literal keeps its order: reordering
+	// expressions with side conditions is not known to be safe, so only
+	// all-literal lists normalize.
+	a := mustFP(t, "select * from t where a in (b, 1)")
+	b := mustFP(t, "select * from t where a in (1, b)")
+	if a == b {
+		t.Fatal("non-literal IN lists must not be reordered")
+	}
+}

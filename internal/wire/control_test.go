@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"apuama/internal/cache"
+	"apuama/internal/engine"
+	"apuama/internal/sqltypes"
+)
+
+// ctxHandler implements both Handler and ContextHandler and records the
+// cache control it saw on each query's context.
+type ctxHandler struct {
+	mu       sync.Mutex
+	plain    int // Query calls (must stay 0 once ContextHandler exists)
+	controls []cache.Control
+}
+
+func (h *ctxHandler) Query(string) (*engine.Result, error) {
+	h.mu.Lock()
+	h.plain++
+	h.mu.Unlock()
+	return &engine.Result{Cols: []string{"x"}}, nil
+}
+
+func (h *ctxHandler) QueryContext(ctx context.Context, _ string) (*engine.Result, error) {
+	h.mu.Lock()
+	h.controls = append(h.controls, cache.ControlFrom(ctx))
+	h.mu.Unlock()
+	return &engine.Result{
+		Cols: []string{"x"},
+		Rows: []sqltypes.Row{{sqltypes.NewInt(1)}},
+	}, nil
+}
+
+func (h *ctxHandler) Exec(string) (int64, error) { return 0, nil }
+
+func TestControlBitsReachContextHandler(t *testing.T) {
+	h := &ctxHandler{}
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Query("plain"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryOpt("nocache", QueryOptions{NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryOpt("stale", QueryOptions{MaxStaleEpochs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := c.QueryStreamOpt("stream", QueryOptions{NoCache: true, MaxStaleEpochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.plain != 0 {
+		t.Fatalf("server used Handler.Query %d times despite ContextHandler", h.plain)
+	}
+	want := []cache.Control{
+		{},
+		{NoCache: true},
+		{MaxStaleEpochs: 8},
+		{NoCache: true, MaxStaleEpochs: 3},
+	}
+	if len(h.controls) != len(want) {
+		t.Fatalf("saw %d queries, want %d", len(h.controls), len(want))
+	}
+	for i, got := range h.controls {
+		if got != want[i] {
+			t.Errorf("query %d: control %+v, want %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestPlainHandlerStillServed(t *testing.T) {
+	// A handler without QueryContext must keep working, control bits or
+	// not — the bits are simply dropped.
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.QueryOpt("q", QueryOptions{NoCache: true, MaxStaleEpochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}

@@ -5,6 +5,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"net"
 	"sync"
 
+	"apuama/internal/cache"
 	"apuama/internal/engine"
 	"apuama/internal/sqltypes"
 )
@@ -27,6 +29,14 @@ type Request struct {
 	// answer with a plain single-frame Response — gob ignores unknown
 	// fields in both directions, so either side may be old.
 	Stream bool
+
+	// NoCache asks the server to bypass its result cache for this
+	// query; MaxStaleEpochs permits serving a cached result up to that
+	// many committed writes behind the head. Both ride the same gob
+	// compatibility rules as Stream: old servers ignore them, old
+	// clients simply never set them.
+	NoCache        bool
+	MaxStaleEpochs int64
 }
 
 // Response carries the outcome: a result set for queries, an affected
@@ -58,6 +68,32 @@ const DefaultChunkRows = 256
 type Handler interface {
 	Query(sqlText string) (*engine.Result, error)
 	Exec(sqlText string) (int64, error)
+}
+
+// ContextHandler is an optional upgrade of Handler: when the handler
+// also implements it, queries carrying per-request cache directives
+// (NoCache / MaxStaleEpochs) are delivered through QueryContext with a
+// cache.Control attached to the context. The public Cluster satisfies
+// it.
+type ContextHandler interface {
+	QueryContext(ctx context.Context, sqlText string) (*engine.Result, error)
+}
+
+// handleQuery routes a query to the handler, threading cache control
+// bits through the context when the handler supports it.
+func (s *Server) handleQuery(req Request) (*engine.Result, error) {
+	ch, ok := s.handler.(ContextHandler)
+	if !ok {
+		return s.handler.Query(req.SQL)
+	}
+	ctx := context.Background()
+	if req.NoCache || req.MaxStaleEpochs > 0 {
+		ctx = cache.WithControl(ctx, cache.Control{
+			NoCache:        req.NoCache,
+			MaxStaleEpochs: req.MaxStaleEpochs,
+		})
+	}
+	return ch.QueryContext(ctx, req.SQL)
 }
 
 // Server accepts connections and serves requests sequentially per
@@ -131,7 +167,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		case "ping":
 			// empty response
 		case "query":
-			res, err := s.handler.Query(req.SQL)
+			res, err := s.handleQuery(req)
 			if err != nil {
 				resp.Err = err.Error()
 			} else if req.Stream {
@@ -216,10 +252,25 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 	return &resp, nil
 }
 
+// QueryOptions carries per-request cache directives a client may attach
+// to a query (see Request.NoCache / Request.MaxStaleEpochs).
+type QueryOptions struct {
+	NoCache        bool
+	MaxStaleEpochs int64
+}
+
 // Query runs a read-only statement and materializes the whole result
 // (the original single-frame exchange).
 func (c *Client) Query(sqlText string) (*engine.Result, error) {
-	resp, err := c.roundTrip(Request{Kind: "query", SQL: sqlText})
+	return c.QueryOpt(sqlText, QueryOptions{})
+}
+
+// QueryOpt is Query with per-request cache directives.
+func (c *Client) QueryOpt(sqlText string, opt QueryOptions) (*engine.Result, error) {
+	resp, err := c.roundTrip(Request{
+		Kind: "query", SQL: sqlText,
+		NoCache: opt.NoCache, MaxStaleEpochs: opt.MaxStaleEpochs,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -234,12 +285,21 @@ func (c *Client) Query(sqlText string) (*engine.Result, error) {
 // chunking the whole result arrives in one frame and the reader serves
 // it from memory; callers cannot tell the difference.
 func (c *Client) QueryStream(sqlText string) (*RowReader, error) {
+	return c.QueryStreamOpt(sqlText, QueryOptions{})
+}
+
+// QueryStreamOpt is QueryStream with per-request cache directives.
+func (c *Client) QueryStreamOpt(sqlText string, opt QueryOptions) (*RowReader, error) {
 	c.mu.Lock()
 	if c.conn == nil {
 		c.mu.Unlock()
 		return nil, errors.New("wire: client is closed")
 	}
-	if err := c.enc.Encode(&Request{Kind: "query", SQL: sqlText, Stream: true}); err != nil {
+	req := Request{
+		Kind: "query", SQL: sqlText, Stream: true,
+		NoCache: opt.NoCache, MaxStaleEpochs: opt.MaxStaleEpochs,
+	}
+	if err := c.enc.Encode(&req); err != nil {
 		c.mu.Unlock()
 		return nil, err
 	}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+	"apuama/internal/tpch"
+)
+
+func TestPrepareCanonicalizes(t *testing.T) {
+	ps, err := Prepare(
+		"select   COUNT(*)   from ORDERS where O_ORDERKEY in (3, 1, 2)",
+		"SELECT count(*) FROM orders WHERE o_orderkey IN (1, 2, 3)",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Text != ps[1].Text {
+		t.Errorf("canonical texts differ:\n%q\n%q", ps[0].Text, ps[1].Text)
+	}
+	if ps[0].FP != ps[1].FP {
+		t.Errorf("fingerprints differ: %x vs %x", ps[0].FP, ps[1].FP)
+	}
+	if ps[0].Stmt == nil {
+		t.Error("prepared plan missing")
+	}
+	// The canonical text must itself be replayable.
+	if _, err := sql.ParseSelect(ps[0].Text); err != nil {
+		t.Errorf("canonical text does not re-parse: %v", err)
+	}
+}
+
+func TestPrepareRejectsMalformed(t *testing.T) {
+	if _, err := Prepare("select count(*) from orders", "selectt nope"); err == nil {
+		t.Fatal("malformed query should fail at Prepare")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	s := &fakeSession{}
+	ps, err := Prepare("select count(*) from orders", "select sum(o_totalprice) from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(s, ps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 6 || len(rep.Durations) != 6 {
+		t.Fatalf("queries %d durations %d", rep.Queries, len(rep.Durations))
+	}
+	if len(s.queries) != 6 {
+		t.Fatalf("session saw %d queries", len(s.queries))
+	}
+	// Every submission of one prepared statement is byte-identical.
+	if s.queries[0] != s.queries[2] || s.queries[1] != s.queries[3] {
+		t.Error("replayed texts differ across rounds")
+	}
+}
+
+func TestReplayError(t *testing.T) {
+	s := &fakeSession{failOn: "orders"}
+	ps, err := Prepare("select count(*) from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(s, ps, 2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIsolatedTimingParseErrorFailsFast(t *testing.T) {
+	s := &fakeSession{}
+	if _, _, err := IsolatedTiming(s, "not sql at all", 5); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if len(s.queries) != 0 {
+		t.Fatalf("session should never see a malformed query, saw %d", len(s.queries))
+	}
+}
+
+// nopSession answers instantly so the benchmarks below time only the
+// driver-side per-iteration work.
+type nopSession struct{ res engine.Result }
+
+func (n *nopSession) Query(string) (*engine.Result, error) { return &n.res, nil }
+func (n *nopSession) Exec(string) (int64, error)           { return 0, nil }
+
+// BenchmarkReplayReparsePerIteration is the old replay shape: every
+// iteration re-parses, re-canonicalizes and re-fingerprints the query
+// before submitting it.
+func BenchmarkReplayReparsePerIteration(b *testing.B) {
+	sess := &nopSession{}
+	text := tpch.MustQuery(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sel, err := sql.ParseSelect(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		canon := sql.CanonicalSelect(sel)
+		_ = sql.FingerprintStmt(canon)
+		if _, err := sess.Query(canon.SQL()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayPrepared pays that cost once and replays the prepared
+// text — the per-iteration delta against the benchmark above is what
+// the Prepare/Replay split saves.
+func BenchmarkReplayPrepared(b *testing.B) {
+	sess := &nopSession{}
+	ps, err := Prepare(tpch.MustQuery(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Query(ps[0].Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
