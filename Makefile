@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet staticcheck race fuzz-replay fuzz-smoke cover bench bench-micro bench-cache clean
+.PHONY: all build test tier1 vet staticcheck race race-cpu fuzz-replay fuzz-smoke cover bench bench-micro bench-cache bench-baseline bench-compare clean
 
 all: build test
 
@@ -25,14 +25,21 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
+# The engine suite again under varying GOMAXPROCS: the morsel-driven
+# parallel path must stay race-free and bit-deterministic however many
+# cores host its workers.
+race-cpu:
+	$(GO) test -race -cpu 1,2,4 ./internal/engine/
+
 # Replay the checked-in fuzz corpora (testdata/fuzz/) as plain tests:
 # every past crasher and interesting input must stay green.
 fuzz-replay:
 	$(GO) test -run Fuzz ./internal/sql/ ./internal/core/
 
 # Tier-1 verification: static checks, the full suite under the race
-# detector (chaos/resilience tests included), and corpus replay.
-tier1: vet staticcheck race fuzz-replay
+# detector (chaos/resilience tests included), the engine suite across
+# -cpu settings, and corpus replay.
+tier1: vet staticcheck race race-cpu fuzz-replay
 
 # Short live fuzzing of each target (30s apiece) — a smoke pass, not a
 # campaign; run the targets individually with -fuzztime for longer.
@@ -60,9 +67,28 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Microbenchmarks of the batch execution path: allocation rate per row
-# (the vectorization win) and time-to-first-batch (the streaming win).
+# (the vectorization win), time-to-first-batch (the streaming win), and
+# the morsel-driven degree sweep (the intra-node parallelism win).
 bench-micro:
-	$(GO) test -bench 'FirstBatch|Allocs' -benchmem -run=^$$ ./internal/engine/
+	$(GO) test -bench 'FirstBatch|Allocs|ParallelScanAgg' -benchmem -run=^$$ ./internal/engine/
+
+# Regenerate the checked-in benchmark baseline: the standard experiment
+# set (the five paper figures) in the quick configuration, as JSON. CI
+# diffs fresh runs against this file; refresh it deliberately when a
+# change moves performance on purpose.
+bench-baseline:
+	$(GO) run ./cmd/apuama-bench -exp all -quick -quiet -json BENCH_5.json
+
+# Fresh micro-benchmark snapshot (bench-micro.txt) diffed against the
+# checked-in baseline (BENCH_MICRO_5.txt) with benchstat when available
+# (CI installs it; local runs without the binary just print the snapshot).
+bench-compare:
+	$(GO) test -bench 'FirstBatch|Allocs|ParallelScanAgg' -benchmem -benchtime 20x -count 3 -run '^$$' ./internal/engine/ | tee bench-micro.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat BENCH_MICRO_5.txt bench-micro.txt; \
+	else \
+		echo "benchstat not installed; skipping comparison (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
 
 # Result-cache experiment: cold vs warm vs shared-concurrent latency,
 # written as JSON for plotting.

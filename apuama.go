@@ -121,6 +121,12 @@ type Config struct {
 	AllowSeqscan bool
 	// PoolSize bounds concurrent statements per node (default 8).
 	PoolSize int
+	// Parallelism is each node engine's intra-node morsel-driven degree:
+	// sub-queries run their scan/filter/partial-aggregation fragment on
+	// this many workers (the second level of parallelism, under the
+	// cluster-level SVP/AVP split). 0 = auto (min(GOMAXPROCS, 8), large
+	// relations only), 1 = serial.
+	Parallelism int
 	// GatherBudget bounds the in-flight partial-result batches buffered
 	// between each node's stream and the composer, per partition
 	// (backpressure on producers that outrun composition; default 8).
@@ -223,6 +229,7 @@ func Open(cfg Config) (*Cluster, error) {
 	if cfg.GatherBudget > 0 {
 		opts.GatherBudget = cfg.GatherBudget
 	}
+	opts.Parallelism = cfg.Parallelism
 	opts.QueryTimeout = cfg.QueryTimeout
 	opts.RetryLimit = cfg.RetryLimit
 	opts.RetryBackoff = cfg.RetryBackoff

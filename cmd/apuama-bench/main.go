@@ -36,6 +36,7 @@ func main() {
 		streams  = flag.Int("streams", 0, "read streams for throughput workloads")
 		quick    = flag.Bool("quick", false, "small smoke configuration")
 		baseline = flag.Bool("baseline", false, "disable Apuama (C-JDBC baseline)")
+		par      = flag.Int("parallelism", 1, "intra-node morsel-driven degree per node engine (0 = auto, 1 = serial)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 		trace    = flag.Bool("trace", false, "trace each TPC-H query once and print the per-phase latency breakdown")
 		jsonOut  = flag.String("json", "", "also write the figures as JSON to this file (for plotting/CI diffing)")
@@ -70,6 +71,7 @@ func main() {
 		cfg.ReadStreams = *streams
 	}
 	cfg.Baseline = *baseline
+	cfg.Parallelism = *par
 
 	if *trace {
 		if err := runTrace(cfg); err != nil {
@@ -83,8 +85,8 @@ func main() {
 		progress = os.Stderr
 	}
 
-	fmt.Printf("apuama-bench: exp=%s sf=%g nodes=%v repeats=%d streams=%d updates=%d baseline=%v\n",
-		*exp, cfg.SF, cfg.Nodes, cfg.Repeats, cfg.ReadStreams, cfg.UpdateOrders, cfg.Baseline)
+	fmt.Printf("apuama-bench: exp=%s sf=%g nodes=%v repeats=%d streams=%d updates=%d baseline=%v parallelism=%d\n",
+		*exp, cfg.SF, cfg.Nodes, cfg.Repeats, cfg.ReadStreams, cfg.UpdateOrders, cfg.Baseline, cfg.Parallelism)
 	start := time.Now()
 
 	var figs []*experiments.Figure
@@ -138,26 +140,28 @@ func main() {
 // benchReport is the -json output document: the run's configuration
 // alongside the raw figures, stable enough to diff across runs.
 type benchReport struct {
-	Experiment string                `json:"experiment"`
-	SF         float64               `json:"sf"`
-	Nodes      []int                 `json:"nodes"`
-	Repeats    int                   `json:"repeats"`
-	Streams    int                   `json:"streams"`
-	Updates    int                   `json:"updates"`
-	Baseline   bool                  `json:"baseline"`
-	Figures    []*experiments.Figure `json:"figures"`
+	Experiment  string                `json:"experiment"`
+	SF          float64               `json:"sf"`
+	Nodes       []int                 `json:"nodes"`
+	Repeats     int                   `json:"repeats"`
+	Streams     int                   `json:"streams"`
+	Updates     int                   `json:"updates"`
+	Baseline    bool                  `json:"baseline"`
+	Parallelism int                   `json:"parallelism"`
+	Figures     []*experiments.Figure `json:"figures"`
 }
 
 func writeJSON(path, exp string, cfg experiments.Config, figs []*experiments.Figure) error {
 	doc := benchReport{
-		Experiment: exp,
-		SF:         cfg.SF,
-		Nodes:      cfg.Nodes,
-		Repeats:    cfg.Repeats,
-		Streams:    cfg.ReadStreams,
-		Updates:    cfg.UpdateOrders,
-		Baseline:   cfg.Baseline,
-		Figures:    figs,
+		Experiment:  exp,
+		SF:          cfg.SF,
+		Nodes:       cfg.Nodes,
+		Repeats:     cfg.Repeats,
+		Streams:     cfg.ReadStreams,
+		Updates:     cfg.UpdateOrders,
+		Baseline:    cfg.Baseline,
+		Parallelism: cfg.Parallelism,
+		Figures:     figs,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

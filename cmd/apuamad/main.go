@@ -86,6 +86,7 @@ func main() {
 		avp      = flag.Bool("avp", false, "use Adaptive Virtual Partitioning instead of SVP")
 		stale    = flag.Int64("staleness", 0, "relaxed-freshness bound in writes (0 = strict barrier)")
 		sleep    = flag.Bool("realtime", false, "sleep simulated latencies (realistic timing)")
+		par      = flag.Int("parallelism", 0, "intra-node morsel-driven degree per node engine (0 = auto, 1 = serial)")
 
 		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity in composed results (0 = caching off)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (with -cache-entries)")
@@ -101,7 +102,8 @@ func main() {
 
 	cfg := apuama.Config{
 		Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale,
-		Trace: *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,
+		Parallelism: *par,
+		Trace:       *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,
 	}
 	if *cacheEntries > 0 {
 		cfg.Cache = apuama.CacheConfig{

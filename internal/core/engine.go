@@ -97,6 +97,13 @@ type Options struct {
 	// DisableHedging turns speculative re-dispatch off.
 	DisableHedging bool
 
+	// Parallelism is the intra-node morsel-driven degree each node engine
+	// applies to the parallel-safe fragment of its sub-query (the second
+	// level of parallelism, under the cluster-level SVP/AVP split):
+	// 0 = auto (min(GOMAXPROCS, 8), large relations only), 1 = serial,
+	// n > 1 = fixed worker count.
+	Parallelism int
+
 	// Metrics, when set, mirrors every engine counter into the registry
 	// and attributes per-phase latency (barrier, dispatch, sub-query,
 	// gather, compose) to histograms. Nil disables mirroring at zero
@@ -106,9 +113,38 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
-// DefaultOptions mirrors the paper's configuration.
+// DefaultOptions mirrors the paper's configuration, with every
+// defaultable knob already resolved: the value is a fixed point of the
+// engine's option normalization, so it round-trips through New unchanged.
 func DefaultOptions() Options {
-	return Options{ForceIndexScan: true, PoolSize: 8, BarrierTimeout: 30 * time.Second}
+	return Options{ForceIndexScan: true}.withDefaults()
+}
+
+// withDefaults is the one place option defaulting happens. New
+// normalizes every caller-supplied Options through it; DefaultOptions
+// returns its fixed point. Adding a defaultable knob means adding it
+// here (and only here) — the round-trip test in options_test.go catches
+// a default applied anywhere else.
+func (o Options) withDefaults() Options {
+	if o.PoolSize == 0 {
+		o.PoolSize = 8
+	}
+	if o.BarrierTimeout == 0 {
+		o.BarrierTimeout = 30 * time.Second
+	}
+	if o.RetryLimit == 0 {
+		o.RetryLimit = defaultRetryLimit
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = defaultRetryBackoff
+	}
+	if o.HedgeMultiplier == 0 {
+		o.HedgeMultiplier = defaultHedgeMultiplier
+	}
+	if o.GatherBudget <= 0 {
+		o.GatherBudget = defaultGatherBudget
+	}
+	return o
 }
 
 // Resilience defaults (see DESIGN.md "Failure handling").
@@ -176,24 +212,7 @@ type Stats struct {
 
 // New builds an Apuama Engine over the given nodes.
 func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Options) *Engine {
-	if opts.PoolSize == 0 {
-		opts.PoolSize = DefaultOptions().PoolSize
-	}
-	if opts.BarrierTimeout == 0 {
-		opts.BarrierTimeout = DefaultOptions().BarrierTimeout
-	}
-	if opts.RetryLimit == 0 {
-		opts.RetryLimit = defaultRetryLimit
-	}
-	if opts.RetryBackoff == 0 {
-		opts.RetryBackoff = defaultRetryBackoff
-	}
-	if opts.HedgeMultiplier == 0 {
-		opts.HedgeMultiplier = defaultHedgeMultiplier
-	}
-	if opts.GatherBudget <= 0 {
-		opts.GatherBudget = defaultGatherBudget
-	}
+	opts = opts.withDefaults()
 	e := &Engine{
 		db:      db,
 		catalog: catalog,
@@ -206,7 +225,13 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 	}
 	e.st.wire(opts.Metrics)
 	for _, nd := range nodes {
+		if opts.Parallelism != 0 {
+			// Make the degree the node's default too, so pass-through
+			// (non-SVP) queries on the same node honour it.
+			nd.SetDefaultParallelism(opts.Parallelism)
+		}
 		p := NewNodeProcessor(nd, opts.PoolSize)
+		p.parallelism = opts.Parallelism
 		p.setObs(opts.Metrics)
 		e.procs = append(e.procs, p)
 	}

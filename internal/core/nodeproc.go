@@ -26,6 +26,10 @@ type NodeProcessor struct {
 	node *engine.Node
 	pool chan struct{}
 
+	// parallelism is the intra-node morsel-driven degree forwarded with
+	// every sub-query (Options.Parallelism: 0 = node default/auto).
+	parallelism int
+
 	// down simulates a node crash: every request fails with
 	// cluster.ErrBackendDown until Revive. Used by failure-injection
 	// tests and chaos runs.
@@ -71,6 +75,7 @@ func (p *NodeProcessor) setObs(reg *obs.Registry) {
 	id := strconv.Itoa(p.node.ID())
 	p.poolWait = reg.Histogram(obs.Labeled(obs.MPoolWait, "node", id))
 	p.inflight = reg.Gauge(obs.Labeled(obs.MNodeInflight, "node", id))
+	p.node.SetObs(reg)
 }
 
 // InjectFaults attaches a fault injector; nil detaches.
@@ -195,7 +200,7 @@ func (p *NodeProcessor) QueryAt(ctx context.Context, stmt *sql.SelectStmt, snaps
 		return nil, err
 	}
 	defer release()
-	res, qerr := p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex})
+	res, qerr := p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex, Parallelism: p.parallelism, Ctx: ctx})
 	if after != nil {
 		qerr = after(qerr)
 	}
@@ -225,7 +230,7 @@ func (p *NodeProcessor) StreamAt(ctx context.Context, stmt *sql.SelectStmt, snap
 		return err
 	}
 	defer release()
-	cur, qerr := p.node.OpenQueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex})
+	cur, qerr := p.node.OpenQueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex, Parallelism: p.parallelism, Ctx: ctx})
 	if qerr == nil {
 		for {
 			b := sqltypes.GetBatch()

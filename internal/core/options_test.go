@@ -1,0 +1,53 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDefaultOptionsRoundTrip pins the contract that DefaultOptions is a
+// fixed point of the engine's option normalization: passing it through
+// New must change nothing. This is the regression test for the bug where
+// New re-applied defaults inline and silently dropped GatherBudget —
+// defaulting now lives in exactly one place (withDefaults).
+func TestDefaultOptionsRoundTrip(t *testing.T) {
+	opts := DefaultOptions()
+	s := buildStack(t, 2, opts)
+	if !reflect.DeepEqual(s.eng.opts, opts) {
+		t.Errorf("DefaultOptions mutated by New:\n got %+v\nwant %+v", s.eng.opts, opts)
+	}
+	if opts.GatherBudget != defaultGatherBudget {
+		t.Errorf("DefaultOptions.GatherBudget = %d, want %d", opts.GatherBudget, defaultGatherBudget)
+	}
+	// Normalizing twice is idempotent (withDefaults is a projection).
+	if again := opts.withDefaults(); !reflect.DeepEqual(again, opts) {
+		t.Errorf("withDefaults not idempotent:\n got %+v\nwant %+v", again, opts)
+	}
+	// A zero Options picks up every default, including the one New used
+	// to drop.
+	zero := Options{}.withDefaults()
+	if zero.GatherBudget != defaultGatherBudget {
+		t.Errorf("zero Options.GatherBudget = %d, want %d", zero.GatherBudget, defaultGatherBudget)
+	}
+	if zero.PoolSize == 0 || zero.BarrierTimeout == 0 || zero.RetryLimit == 0 ||
+		zero.RetryBackoff == 0 || zero.HedgeMultiplier == 0 {
+		t.Errorf("zero Options missing defaults: %+v", zero)
+	}
+}
+
+// TestParallelismThreadsToNodes: Options.Parallelism must reach both the
+// per-sub-query QueryOpts (processor field) and the node's own default
+// (for pass-through queries).
+func TestParallelismThreadsToNodes(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	s := buildStack(t, 2, opts)
+	for i, p := range s.eng.Procs() {
+		if p.parallelism != 4 {
+			t.Errorf("proc %d parallelism = %d, want 4", i, p.parallelism)
+		}
+		if got := p.Node().DefaultParallelism(); got != 4 {
+			t.Errorf("node %d default parallelism = %d, want 4", i, got)
+		}
+	}
+}

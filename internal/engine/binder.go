@@ -304,7 +304,7 @@ func (s *subplan) run(ec *evalCtx, maxRows int) ([]sqltypes.Row, error) {
 		}
 		params[i] = v
 	}
-	sub := &execCtx{node: ec.ex.node, snapshot: ec.ex.snapshot, params: params, batchCap: ec.ex.batchCap}
+	sub := &execCtx{node: ec.ex.node, snapshot: ec.ex.snapshot, params: params, meter: ec.ex.meter, ctx: ec.ex.ctx, batchCap: ec.ex.batchCap}
 	if err := s.root.open(sub); err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"sort"
 	"time"
 
+	"apuama/internal/costmodel"
 	"apuama/internal/sqltypes"
 	"apuama/internal/storage"
 )
@@ -14,10 +16,26 @@ type execCtx struct {
 	snapshot int64
 	params   []sqltypes.Value
 
+	// meter is the cost sink for this execution: the node's meter for
+	// serial plans, a private per-worker meter inside a parallel
+	// fragment (so concurrent workers' simulated latencies overlap in
+	// wall-clock instead of serializing on one pending balance).
+	meter *costmodel.Meter
+
+	// ctx, when non-nil, is checked by long-running operators (one check
+	// per morsel on the parallel path) so cancelled queries stop early.
+	ctx context.Context
+
 	// batchCap overrides the capacity of operator-internal batches
 	// (0 = sqltypes.DefaultBatchCapacity). The batch-size property tests
 	// shrink it to 1/2/7 to flush out batch-boundary bugs.
 	batchCap int
+}
+
+// touch charges a page access against the node's buffer pool, billing
+// any miss to this execution's meter.
+func (ex *execCtx) touch(pageID int64, sequential bool) {
+	ex.node.pool.AccessTo(pageID, sequential, ex.meter)
 }
 
 // op is a vectorized volcano-style operator: open, a stream of next
@@ -104,13 +122,13 @@ func (s *seqScanOp) open(ex *execCtx) error {
 	s.pi, s.slot = 0, 0
 	s.ec = evalCtx{ex: ex}
 	if s.pi < len(s.pages) {
-		ex.node.touchPage(s.pages[0].ID, true)
+		ex.touch(s.pages[0].ID, true)
 	}
 	return nil
 }
 
 func (s *seqScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
-	cfg := ex.node.meter.Config()
+	cfg := ex.meter.Config()
 	for s.pi < len(s.pages) {
 		p := s.pages[s.pi]
 		n := int32(p.Count())
@@ -120,7 +138,7 @@ func (s *seqScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
 			}
 			slot := s.slot
 			s.slot++
-			ex.node.meter.Charge(cfg.CPUTuple)
+			ex.meter.Charge(cfg.CPUTuple)
 			if !p.Visible(slot, ex.snapshot) {
 				continue
 			}
@@ -144,8 +162,8 @@ func (s *seqScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
 		s.pi++
 		s.slot = 0
 		if s.pi < len(s.pages) {
-			ex.node.touchPage(s.pages[s.pi].ID, true)
-			ex.node.meter.MaybeFlush()
+			ex.touch(s.pages[s.pi].ID, true)
+			ex.meter.MaybeFlush()
 		}
 	}
 	return nil
@@ -200,19 +218,19 @@ func (s *indexScanOp) open(ex *execCtx) error {
 	s.rids = s.rids[:0]
 	s.pos = 0
 	s.lastPg = -1
-	cfg := ex.node.meter.Config()
+	cfg := ex.meter.Config()
 	s.index.Tree.AscendRange(lo, hi, s.loIncl, s.hiIncl, func(e storage.Entry) bool {
 		s.rids = append(s.rids, e.RID)
 		return true
 	})
 	// Index traversal CPU cost (B-tree pages are assumed cached; heap
 	// dominates, as on a warm PostgreSQL instance).
-	ex.node.meter.Charge(time.Duration(len(s.rids)) * cfg.CPUOperator)
+	ex.meter.Charge(time.Duration(len(s.rids)) * cfg.CPUOperator)
 	return nil
 }
 
 func (s *indexScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
-	cfg := ex.node.meter.Config()
+	cfg := ex.meter.Config()
 	for s.pos < len(s.rids) {
 		if out.Full() {
 			return nil
@@ -224,11 +242,11 @@ func (s *indexScanOp) next(ex *execCtx, out *sqltypes.Batch) error {
 			continue
 		}
 		if p.ID != s.lastPg {
-			ex.node.touchPage(p.ID, s.index.Clustered)
+			ex.touch(p.ID, s.index.Clustered)
 			s.lastPg = p.ID
-			ex.node.meter.MaybeFlush()
+			ex.meter.MaybeFlush()
 		}
-		ex.node.meter.Charge(cfg.CPUTuple)
+		ex.meter.Charge(cfg.CPUTuple)
 		if !p.Visible(rid.Slot, ex.snapshot) {
 			continue
 		}
@@ -327,7 +345,7 @@ func (j *hashJoinOp) open(ex *execCtx) error {
 	j.keysOf = map[uint64][]sqltypes.Row{}
 	j.matches = nil
 	j.current = nil
-	cfg := ex.node.meter.Config()
+	cfg := ex.meter.Config()
 	var bs childStream
 	bs.open(ex)
 	defer bs.close()
@@ -349,7 +367,7 @@ func (j *hashJoinOp) open(ex *execCtx) error {
 		h := sqltypes.HashRow(key)
 		j.table[h] = append(j.table[h], row)
 		j.keysOf[h] = append(j.keysOf[h], key)
-		ex.node.meter.Charge(cfg.CPUOperator)
+		ex.meter.Charge(cfg.CPUOperator)
 	}
 	j.cs.open(ex)
 	return j.probe.open(ex)
@@ -372,7 +390,7 @@ func evalKeys(ec *evalCtx, keys []bexpr, row sqltypes.Row) (sqltypes.Row, bool, 
 }
 
 func (j *hashJoinOp) next(ex *execCtx, out *sqltypes.Batch) error {
-	cfg := ex.node.meter.Config()
+	cfg := ex.meter.Config()
 	for !out.Full() {
 		if len(j.matches) > 0 {
 			b := j.matches[0]
@@ -390,7 +408,7 @@ func (j *hashJoinOp) next(ex *execCtx, out *sqltypes.Batch) error {
 		if row == nil {
 			return nil
 		}
-		ex.node.meter.Charge(cfg.CPUOperator)
+		ex.meter.Charge(cfg.CPUOperator)
 		key, null, err := evalKeys(&j.ec, j.probeKeys, row)
 		if err != nil {
 			return err
@@ -609,6 +627,31 @@ func (st *aggState) add(def *aggDef, v sqltypes.Value) {
 	}
 }
 
+// merge folds another partial state into st. Parallel workers accumulate
+// per-morsel partials which the coordinator merges in morsel-index order,
+// so float sums are combined in one deterministic order regardless of
+// which worker ran which morsel. DISTINCT aggregates are never
+// parallelized (the planner rejects them), so seen maps don't merge.
+func (st *aggState) merge(def *aggDef, other *aggState) {
+	st.count += other.count
+	switch def.fn {
+	case "sum", "avg":
+		st.sumI += other.sumI
+		if other.isFloat {
+			st.isFloat = true
+			st.sumF += other.sumF
+		}
+	case "min":
+		if !other.min.IsNull() && (st.min.IsNull() || sqltypes.Compare(other.min, st.min) < 0) {
+			st.min = other.min
+		}
+	case "max":
+		if !other.max.IsNull() && (st.max.IsNull() || sqltypes.Compare(other.max, st.max) > 0) {
+			st.max = other.max
+		}
+	}
+}
+
 func (st *aggState) result(def *aggDef) sqltypes.Value {
 	switch def.fn {
 	case "count":
@@ -659,7 +702,7 @@ func (a *aggOp) open(ex *execCtx) error {
 		return err
 	}
 	defer a.child.close()
-	cfg := ex.node.meter.Config()
+	cfg := ex.meter.Config()
 	buckets := map[uint64][]*aggGroup{}
 	var order []*aggGroup
 	ec := evalCtx{ex: ex}
@@ -708,9 +751,9 @@ func (a *aggOp) open(ex *execCtx) error {
 				}
 			}
 			grp.states[i].add(def, v)
-			ex.node.meter.Charge(cfg.CPUOperator)
+			ex.meter.Charge(cfg.CPUOperator)
 		}
-		ex.node.meter.MaybeFlush()
+		ex.meter.MaybeFlush()
 	}
 	if len(a.groups) == 0 && len(order) == 0 {
 		order = append(order, &aggGroup{keys: sqltypes.Row{}, states: make([]aggState, len(a.aggs))})

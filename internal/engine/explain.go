@@ -17,6 +17,9 @@ func (nd *Node) Explain(sel *sql.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if degree, gated := nd.resolveParallelism(0); degree > 1 {
+		root = parallelizePlan(nd, root, degree, gated)
+	}
 	var lines []string
 	describe(root, 0, &lines)
 	res := &Result{Cols: []string{"QUERY PLAN"}}
@@ -73,9 +76,56 @@ func describe(o op, depth int, out *[]string) {
 	case *projectOp:
 		add("Project (%d column[s])", len(o.items))
 		describe(o.child, depth+1, out)
+	case *parallelAggOp:
+		add("Gather (parallel degree %d, merge at partial aggregate)", o.degree)
+		if len(o.groups) == 0 {
+			*out = append(*out, pad+fmt.Sprintf("  Partial Aggregate (%d expr[s])", len(o.aggs)))
+		} else {
+			*out = append(*out, pad+fmt.Sprintf("  Partial HashAggregate (%d group key[s], %d aggregate[s])", len(o.groups), len(o.aggs)))
+		}
+		describeFragment(o.frag, depth+2, out)
+	case *parallelScanOp:
+		add("Gather (parallel degree %d, merge at scan)", o.degree)
+		describeFragment(o.frag, depth+1, out)
 	default:
 		add("%T", o)
 	}
+}
+
+// describeFragment renders a gather operator's worker-side pipeline.
+func describeFragment(f *fragSpec, depth int, out *[]string) {
+	d := depth
+	line := func(format string, args ...any) {
+		*out = append(*out, strings.Repeat("  ", d)+fmt.Sprintf(format, args...))
+	}
+	if f.project != nil {
+		line("Project (%d column[s])", len(f.project))
+		d++
+	}
+	for range f.filters {
+		line("Filter")
+		d++
+	}
+	if f.index == nil {
+		flt := ""
+		if f.scanFilter != nil {
+			flt = " (filtered)"
+		}
+		line("Parallel Seq Scan on %s%s", f.rel.Name, flt)
+		return
+	}
+	var bound string
+	switch {
+	case f.lo != nil && f.hi != nil:
+		bound = " (range)"
+	case f.lo != nil:
+		bound = " (lower bound)"
+	case f.hi != nil:
+		bound = " (upper bound)"
+	default:
+		bound = " (full)"
+	}
+	line("Parallel Index Scan using %s on %s%s", f.index.Name, f.rel.Name, bound)
 }
 
 func describeBounds(o *indexScanOp) string {

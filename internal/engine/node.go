@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"apuama/internal/costmodel"
+	"apuama/internal/obs"
 	"apuama/internal/sql"
 	"apuama/internal/sqltypes"
 	"apuama/internal/storage"
@@ -35,8 +38,36 @@ type Node struct {
 	// if enable_seqscan were off, like the paper's SET around SVP runs.
 	forcedIndex atomic.Int64
 
+	// defaultPar is the node's default intra-node parallel degree for
+	// queries that don't pin one via QueryOpts.Parallelism: 0 = auto
+	// (GOMAXPROCS capped, gated on table size), 1 = serial, n = fixed.
+	defaultPar atomic.Int64
+
+	// pstats counts parallel-execution activity; SetObs mirrors it into
+	// a metrics registry (handles are nil-safe, so unwired nodes pay
+	// nothing).
+	pstats parallelStats
+
 	applying sync.Mutex // serializes write application on this node
 }
+
+// parallelStats is the node's intra-node parallelism counter block.
+type parallelStats struct {
+	queries atomic.Int64 // plans executed with a parallel fragment
+	morsels atomic.Int64 // morsels dispatched to workers
+	steals  atomic.Int64 // morsels taken from another worker's shard
+
+	// obs mirrors (nil-safe no-ops when no registry is wired).
+	mQueries *obs.Counter
+	mMorsels *obs.Counter
+	mSteals  *obs.Counter
+	mUtil    *obs.Gauge
+}
+
+func (ps *parallelStats) addMorsels(n int64)     { ps.morsels.Add(n); ps.mMorsels.Add(n) }
+func (ps *parallelStats) addSteals(n int64)      { ps.steals.Add(n); ps.mSteals.Add(n) }
+func (ps *parallelStats) addQuery()              { ps.queries.Add(1); ps.mQueries.Add(1) }
+func (ps *parallelStats) setUtilization(p int64) { ps.mUtil.Set(p) }
 
 // NewNode attaches a new node to the database with its own buffer pool.
 func NewNode(id int, db *Database) *Node {
@@ -81,6 +112,70 @@ func (nd *Node) AttachAt(writeID int64) error {
 // touchPage charges a page access to the node's buffer pool.
 func (nd *Node) touchPage(pageID int64, sequential bool) {
 	nd.pool.Access(pageID, sequential)
+}
+
+// SetDefaultParallelism sets the node's default intra-node parallel
+// degree for queries that don't request one explicitly: 0 restores auto
+// (min(GOMAXPROCS, 8), applied only to relations large enough to be
+// worth splitting), 1 forces serial execution, n > 1 fixes the degree.
+func (nd *Node) SetDefaultParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	nd.defaultPar.Store(int64(n))
+}
+
+// DefaultParallelism reports the node's configured default degree
+// (0 = auto).
+func (nd *Node) DefaultParallelism() int { return int(nd.defaultPar.Load()) }
+
+// ParallelStats reports cumulative intra-node parallelism activity:
+// queries that ran a parallel fragment, morsels dispatched, and morsels
+// stolen across worker shards.
+func (nd *Node) ParallelStats() (queries, morsels, steals int64) {
+	return nd.pstats.queries.Load(), nd.pstats.morsels.Load(), nd.pstats.steals.Load()
+}
+
+// SetObs mirrors the node's parallel-execution counters into a metrics
+// registry (nil disables; handles are nil-safe).
+func (nd *Node) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	id := fmt.Sprintf("%d", nd.id)
+	nd.pstats.mQueries = reg.Counter(obs.Labeled(obs.MEngineParallelQueries, "node", id))
+	nd.pstats.mMorsels = reg.Counter(obs.Labeled(obs.MEngineMorsels, "node", id))
+	nd.pstats.mSteals = reg.Counter(obs.Labeled(obs.MEngineMorselSteals, "node", id))
+	nd.pstats.mUtil = reg.Gauge(obs.Labeled(obs.MEngineWorkerUtil, "node", id))
+}
+
+// maxParallelism caps auto-selected degrees: beyond ~8 workers the
+// simulated per-node disk is saturated and extra pipelines only shred
+// the shared buffer pool.
+const maxParallelism = 8
+
+// parallelMinRows gates auto mode: relations below this size finish in
+// microseconds serially, so worker startup would dominate.
+const parallelMinRows = 2048
+
+// resolveParallelism turns a QueryOpts request into an effective worker
+// count plus whether the size gate applies (explicit degrees bypass it).
+func (nd *Node) resolveParallelism(requested int) (degree int, gated bool) {
+	p := requested
+	if p == 0 {
+		p = int(nd.defaultPar.Load())
+		if p == 0 {
+			p = runtime.GOMAXPROCS(0)
+			if p > maxParallelism {
+				p = maxParallelism
+			}
+			return p, true
+		}
+	}
+	if p > 64 {
+		p = 64
+	}
+	return p, false
 }
 
 // Set stores a session setting (SET name = value).
@@ -136,10 +231,15 @@ func (nd *Node) QueryStmt(sel *sql.SelectStmt) (*Result, error) {
 // Apuama paper issues around each SVP sub-query, without perturbing
 // concurrent sessions on the same node. BatchSize overrides the row
 // capacity of operator-internal batches (0 = default; tests shrink it
-// to exercise batch boundaries).
+// to exercise batch boundaries). Parallelism selects the intra-node
+// morsel-driven degree: 0 defers to the node default (auto), 1 pins
+// serial execution, n > 1 runs the parallel-safe fragment on n workers.
+// Ctx, when non-nil, is honoured per-morsel by parallel fragments.
 type QueryOpts struct {
 	ForceIndexScan bool
 	BatchSize      int
+	Parallelism    int
+	Ctx            context.Context
 }
 
 // QueryStmtAt executes a parsed SELECT at an explicit snapshot. The
@@ -196,7 +296,10 @@ func (nd *Node) OpenQueryStmtAt(sel *sql.SelectStmt, snapshot int64, opts QueryO
 		release()
 		return nil, err
 	}
-	ex := &execCtx{node: nd, snapshot: snapshot, batchCap: opts.BatchSize}
+	if degree, gated := nd.resolveParallelism(opts.Parallelism); degree > 1 {
+		root = parallelizePlan(nd, root, degree, gated)
+	}
+	ex := &execCtx{node: nd, snapshot: snapshot, meter: nd.meter, ctx: opts.Ctx, batchCap: opts.BatchSize}
 	if err := root.open(ex); err != nil {
 		release()
 		return nil, err
@@ -405,7 +508,7 @@ func (nd *Node) execUpdate(writeID int64, st *sql.UpdateStmt) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ex := &execCtx{node: nd, snapshot: writeID - 1}
+	ex := &execCtx{node: nd, snapshot: writeID - 1, meter: nd.meter}
 	var n int64
 	for _, rid := range rids {
 		old := rel.Fetch(rid)
@@ -476,7 +579,7 @@ func (nd *Node) collectTargets(writeID int64, table string, where sql.Expr) ([]s
 		}
 	}
 	snapshot := writeID - 1
-	ex := &execCtx{node: nd, snapshot: snapshot}
+	ex := &execCtx{node: nd, snapshot: snapshot, meter: nd.meter}
 	cfg := nd.meter.Config()
 
 	var rids []storage.RowID

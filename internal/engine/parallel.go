@@ -1,0 +1,772 @@
+package engine
+
+// Morsel-driven intra-node parallelism. SVP/AVP split a query across the
+// cluster; this file splits each node's sub-query across workers, the
+// second level of parallelism (Hespe et al., Rödiger et al. — see
+// PAPERS.md). The planner identifies the parallel-safe fragment of a
+// plan — a base-relation scan plus stacked filters, optionally feeding a
+// projection or a partial aggregation — and replaces it with a gather
+// operator that splits the scan into fixed-size morsels, fans them out
+// through per-worker shards with work stealing, and merges per-morsel
+// partial results in morsel-index order.
+//
+// Determinism rule: partial state is kept per MORSEL, not per worker,
+// and morsel decomposition depends only on the data (never on the
+// degree), so the merge folds float aggregates in one fixed order — the
+// same order the serial path would visit pages — making output
+// run-to-run bit-identical at any fixed degree and identical across
+// degrees >= 2. Degree 1 takes the untouched serial path; serial versus
+// parallel differ only by float re-association, within the differential
+// oracle's ULP tolerance.
+//
+// Everything above the merge point (sort, limit, distinct, join probe,
+// HAVING, aggregate-space projection) stays serial; expressions holding
+// mutable sub-plan caches are rejected by the safety walker and fall
+// back to serial execution.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/sqltypes"
+	"apuama/internal/storage"
+)
+
+const (
+	// morselPages is the sequential-scan morsel size in heap pages; fixed
+	// so decomposition is independent of the worker count (determinism)
+	// and small enough that a straggler worker strands little work.
+	morselPages = 8
+	// morselRids is the index-scan morsel size in row IDs.
+	morselRids = 4096
+)
+
+// fragSpec describes one parallel-safe plan fragment: a base-relation
+// scan (sequential or index range), the conjunctive filters above it,
+// and an optional projection. The spec is immutable and shared by all
+// workers; every bound expression in it passed parallelSafeExpr, so
+// evaluation needs only a private evalCtx.
+type fragSpec struct {
+	rel            *storage.Relation
+	index          *storage.Index // nil = sequential heap scan
+	lo, hi         []bexpr        // index key bounds (evaluated once, by the coordinator)
+	loIncl, hiIncl bool
+	scanFilter     bexpr   // pushed-down scan predicate (may be nil)
+	filters        []bexpr // stacked filter conditions, innermost first
+	project        []bexpr // nil: emit raw scan rows
+}
+
+// morsel is one unit of work: a half-open range over the fragment's page
+// snapshot (sequential scan) or materialized RID list (index scan).
+type morsel struct{ lo, hi int }
+
+// decompose materializes the scan's input once on the coordinator and
+// cuts it into fixed-size morsels. Index bounds are evaluated here (they
+// may reference correlation parameters) and the B-tree walk is charged
+// to the coordinator's meter exactly as the serial indexScanOp charges it.
+func (f *fragSpec) decompose(ex *execCtx) (pages []*storage.Page, rids []storage.RowID, morsels []morsel, err error) {
+	if f.index == nil {
+		pages = f.rel.PageSnapshot()
+		for lo := 0; lo < len(pages); lo += morselPages {
+			morsels = append(morsels, morsel{lo, min(lo+morselPages, len(pages))})
+		}
+		return pages, nil, morsels, nil
+	}
+	ec := evalCtx{ex: ex}
+	evalBound := func(bs []bexpr) (sqltypes.Row, error) {
+		if bs == nil {
+			return nil, nil
+		}
+		key := make(sqltypes.Row, len(bs))
+		for i, b := range bs {
+			v, err := b.eval(&ec)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		return key, nil
+	}
+	lo, err := evalBound(f.lo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	hi, err := evalBound(f.hi)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f.index.Tree.AscendRange(lo, hi, f.loIncl, f.hiIncl, func(e storage.Entry) bool {
+		rids = append(rids, e.RID)
+		return true
+	})
+	ex.meter.Charge(time.Duration(len(rids)) * ex.meter.Config().CPUOperator)
+	for l := 0; l < len(rids); l += morselRids {
+		morsels = append(morsels, morsel{l, min(l+morselRids, len(rids))})
+	}
+	return nil, rids, morsels, nil
+}
+
+// keep applies the fragment's scan filter and stacked filters to row.
+func (f *fragSpec) keep(ec *evalCtx, row sqltypes.Row) (bool, error) {
+	ec.row = row
+	if f.scanFilter != nil {
+		v, err := f.scanFilter.eval(ec)
+		if err != nil {
+			return false, err
+		}
+		ok, err := filterTrue(v)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, c := range f.filters {
+		ec.row = row
+		v, err := c.eval(ec)
+		if err != nil {
+			return false, err
+		}
+		ok, err := filterTrue(v)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// runMorsel scans one morsel under the worker's execution context,
+// charging the worker's meter with the same IO/CPU the serial operators
+// charge, and hands each surviving (pre-projection) row to emit.
+func (f *fragSpec) runMorsel(ex *execCtx, ec *evalCtx, m morsel, pages []*storage.Page, rids []storage.RowID, emit func(sqltypes.Row) error) error {
+	cfg := ex.meter.Config()
+	if f.index == nil {
+		for pi := m.lo; pi < m.hi; pi++ {
+			p := pages[pi]
+			ex.touch(p.ID, true)
+			n := int32(p.Count())
+			for slot := int32(0); slot < n; slot++ {
+				ex.meter.Charge(cfg.CPUTuple)
+				if !p.Visible(slot, ex.snapshot) {
+					continue
+				}
+				row := p.Row(slot)
+				ok, err := f.keep(ec, row)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := emit(row); err != nil {
+					return err
+				}
+			}
+			ex.meter.MaybeFlush()
+		}
+		return nil
+	}
+	lastPg := int64(-1)
+	for i := m.lo; i < m.hi; i++ {
+		rid := rids[i]
+		p := f.rel.PageOf(rid)
+		if p == nil {
+			continue
+		}
+		if p.ID != lastPg {
+			ex.touch(p.ID, f.index.Clustered)
+			lastPg = p.ID
+			ex.meter.MaybeFlush()
+		}
+		ex.meter.Charge(cfg.CPUTuple)
+		if !p.Visible(rid.Slot, ex.snapshot) {
+			continue
+		}
+		row := p.Row(rid.Slot)
+		ok, err := f.keep(ec, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- work queue ---
+
+// morselQueue pre-assigns morsel indices round-robin to per-worker
+// shards, each drained through an atomic cursor. A worker exhausts its
+// own shard, then steals from the other shards' cursors — the classic
+// morsel-driven balance: cheap uncontended claims in the common case,
+// stealing only when a worker runs dry.
+type morselQueue struct {
+	shards  [][]int
+	cursors []atomic.Int64
+	steals  atomic.Int64
+}
+
+func newMorselQueue(nMorsels, workers int) *morselQueue {
+	q := &morselQueue{
+		shards:  make([][]int, workers),
+		cursors: make([]atomic.Int64, workers),
+	}
+	for i := 0; i < nMorsels; i++ {
+		w := i % workers
+		q.shards[w] = append(q.shards[w], i)
+	}
+	return q
+}
+
+// next claims the next morsel for worker self, stealing if its own shard
+// is exhausted. Returns false when no work remains anywhere.
+func (q *morselQueue) next(self int) (int, bool) {
+	for off := 0; off < len(q.shards); off++ {
+		w := (self + off) % len(q.shards)
+		c := q.cursors[w].Add(1) - 1
+		if int(c) >= len(q.shards[w]) {
+			continue
+		}
+		if off != 0 {
+			q.steals.Add(1)
+		}
+		return q.shards[w][c], true
+	}
+	return 0, false
+}
+
+// --- shared worker machinery ---
+
+// fragRun drives degree workers over a decomposed fragment. Each worker
+// owns a private cost meter (so simulated latencies overlap in
+// wall-clock, as concurrent cores would), a private evalCtx, and hands
+// per-morsel results to the owner through the handle callback; the
+// coordinator later merges them in morsel-index order.
+type fragRun struct {
+	queue  *morselQueue
+	degree int
+
+	stop  atomic.Bool
+	errMu sync.Mutex
+	err   error
+
+	busy atomic.Int64 // summed worker wall-clock, for the utilization gauge
+	wg   sync.WaitGroup
+}
+
+func (r *fragRun) setErr(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+	r.stop.Store(true)
+}
+
+func (r *fragRun) firstErr() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// start launches the workers. handle runs on the claiming worker with a
+// worker-private execCtx/evalCtx and must deliver the morsel's result to
+// the owner (each morsel index is claimed exactly once, so indexed
+// writes into a pre-sized slice need no locking; wg.Wait or the
+// publish lock provides the happens-before edge for readers). done, if
+// non-nil, runs once after every worker has exited.
+func (r *fragRun) start(ex *execCtx, handle func(wex *execCtx, wec *evalCtx, mi int) error, done func()) {
+	start := time.Now()
+	cfg := ex.meter.Config()
+	for w := 0; w < r.degree; w++ {
+		r.wg.Add(1)
+		go func(self int) {
+			defer r.wg.Done()
+			t0 := time.Now()
+			wm := costmodel.NewMeter(cfg)
+			wex := &execCtx{node: ex.node, snapshot: ex.snapshot, params: ex.params, meter: wm, ctx: ex.ctx, batchCap: ex.batchCap}
+			wec := evalCtx{ex: wex}
+			for !r.stop.Load() {
+				if wex.ctx != nil {
+					if err := wex.ctx.Err(); err != nil {
+						r.setErr(err)
+						break
+					}
+				}
+				mi, ok := r.queue.next(self)
+				if !ok {
+					break
+				}
+				if err := handle(wex, &wec, mi); err != nil {
+					r.setErr(err)
+					break
+				}
+			}
+			wm.Flush()
+			ex.meter.AbsorbVirtual(wm.Virtual())
+			r.busy.Add(int64(time.Since(t0)))
+		}(w)
+	}
+	nd := ex.node
+	go func() {
+		r.wg.Wait()
+		nd.pstats.addSteals(r.queue.steals.Load())
+		if wall := time.Since(start); wall > 0 && r.degree > 0 {
+			util := 100 * r.busy.Load() / (int64(wall) * int64(r.degree))
+			nd.pstats.setUtilization(min(util, 100))
+		}
+		if done != nil {
+			done()
+		}
+	}()
+}
+
+// --- parallel partial aggregation (merge point: aggregate) ---
+
+// morselAgg is one morsel's private aggregation partial: the same
+// bucket-plus-first-appearance-order structure the serial aggOp builds,
+// but scoped to a single morsel so partials merge deterministically.
+type morselAgg struct {
+	buckets map[uint64][]*aggGroup
+	order   []*aggGroup
+}
+
+// parallelAggOp replaces an aggOp whose input is a parallel-safe
+// fragment. open runs the fragment to completion across the workers
+// (aggregation is a pipeline breaker anyway), merges per-morsel partials
+// in morsel-index order, and streams the merged groups like aggOp.
+type parallelAggOp struct {
+	frag   *fragSpec
+	groups []bexpr
+	aggs   []*aggDef
+	degree int
+
+	out []sqltypes.Row
+	pos int
+}
+
+func (a *parallelAggOp) open(ex *execCtx) error {
+	pages, rids, morsels, err := a.frag.decompose(ex)
+	if err != nil {
+		return err
+	}
+	ex.node.pstats.addQuery()
+	ex.node.pstats.addMorsels(int64(len(morsels)))
+
+	partials := make([]*morselAgg, len(morsels))
+	run := &fragRun{queue: newMorselQueue(len(morsels), a.degree), degree: a.degree}
+	run.start(ex, func(wex *execCtx, wec *evalCtx, mi int) error {
+		cfg := wex.meter.Config()
+		pa := &morselAgg{buckets: map[uint64][]*aggGroup{}}
+		keybuf := make(sqltypes.Row, len(a.groups))
+		err := a.frag.runMorsel(wex, wec, morsels[mi], pages, rids, func(row sqltypes.Row) error {
+			wec.row = row
+			for i, g := range a.groups {
+				v, err := g.eval(wec)
+				if err != nil {
+					return err
+				}
+				keybuf[i] = v
+			}
+			h := sqltypes.HashRow(keybuf)
+			var grp *aggGroup
+			for _, g := range pa.buckets[h] {
+				if sqltypes.RowsEqual(g.keys, keybuf) {
+					grp = g
+					break
+				}
+			}
+			if grp == nil {
+				grp = &aggGroup{keys: keybuf.Clone(), states: make([]aggState, len(a.aggs))}
+				pa.buckets[h] = append(pa.buckets[h], grp)
+				pa.order = append(pa.order, grp)
+			}
+			for i, def := range a.aggs {
+				var v sqltypes.Value
+				if def.arg != nil {
+					var err error
+					v, err = def.arg.eval(wec)
+					if err != nil {
+						return err
+					}
+				}
+				grp.states[i].add(def, v)
+				wex.meter.Charge(cfg.CPUOperator)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		partials[mi] = pa
+		return nil
+	}, nil)
+	run.wg.Wait()
+	if err := run.firstErr(); err != nil {
+		return err
+	}
+
+	// Merge in morsel-index order: group order is first appearance across
+	// ordered morsels (exactly the serial visit order), float partials
+	// fold in one deterministic sequence.
+	buckets := map[uint64][]*aggGroup{}
+	var order []*aggGroup
+	for _, pa := range partials {
+		if pa == nil {
+			continue
+		}
+		for _, g := range pa.order {
+			h := sqltypes.HashRow(g.keys)
+			var dst *aggGroup
+			for _, d := range buckets[h] {
+				if sqltypes.RowsEqual(d.keys, g.keys) {
+					dst = d
+					break
+				}
+			}
+			if dst == nil {
+				buckets[h] = append(buckets[h], g)
+				order = append(order, g)
+				continue
+			}
+			for i, def := range a.aggs {
+				dst.states[i].merge(def, &g.states[i])
+			}
+		}
+	}
+	if len(a.groups) == 0 && len(order) == 0 {
+		order = append(order, &aggGroup{keys: sqltypes.Row{}, states: make([]aggState, len(a.aggs))})
+	}
+	a.out = a.out[:0]
+	for _, g := range order {
+		row := make(sqltypes.Row, 0, len(g.keys)+len(a.aggs))
+		row = append(row, g.keys...)
+		for i, def := range a.aggs {
+			row = append(row, g.states[i].result(def))
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *parallelAggOp) next(_ *execCtx, out *sqltypes.Batch) error {
+	for a.pos < len(a.out) && !out.Full() {
+		out.Append(a.out[a.pos])
+		a.pos++
+	}
+	return nil
+}
+
+func (a *parallelAggOp) close() { a.out = nil }
+
+// --- parallel scan/project (merge point: scan) ---
+
+// scanWindow bounds how far (in morsels) workers may run ahead of the
+// consumer, per worker: completed-but-unconsumed morsels hold their rows
+// in memory, so a slow consumer must apply backpressure.
+const scanWindow = 8
+
+// parallelScanOp replaces a projection (or a join's probe input) over a
+// parallel-safe fragment. Workers materialize each morsel's output rows;
+// next streams them strictly in morsel-index order, so downstream
+// operators see the serial row order and LIMIT/first-batch semantics
+// still semi-stream (the first morsel's rows are deliverable while later
+// morsels are in flight).
+type parallelScanOp struct {
+	frag   *fragSpec
+	degree int
+
+	run     *fragRun
+	morsels []morsel
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	results  [][]sqltypes.Row
+	done     []bool
+	consumed int // next morsel index to stream from
+	rowPos   int // offset within the current morsel's rows
+	stopped  bool
+}
+
+func (s *parallelScanOp) open(ex *execCtx) error {
+	pages, rids, morsels, err := s.frag.decompose(ex)
+	if err != nil {
+		return err
+	}
+	ex.node.pstats.addQuery()
+	ex.node.pstats.addMorsels(int64(len(morsels)))
+
+	s.morsels = morsels
+	s.results = make([][]sqltypes.Row, len(morsels))
+	s.done = make([]bool, len(morsels))
+	s.consumed, s.rowPos = 0, 0
+	s.stopped = false
+	s.cond = sync.NewCond(&s.mu)
+	s.run = &fragRun{queue: newMorselQueue(len(morsels), s.degree), degree: s.degree}
+
+	run := s.run
+	run.start(ex, func(wex *execCtx, wec *evalCtx, mi int) error {
+		// Backpressure: wait until the consumer is within the window.
+		s.mu.Lock()
+		for mi >= s.consumed+scanWindow*s.degree && !s.stopped && !run.stop.Load() {
+			s.cond.Wait()
+		}
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped || run.stop.Load() {
+			return nil
+		}
+		var rows []sqltypes.Row
+		err := s.frag.runMorsel(wex, wec, morsels[mi], pages, rids, func(row sqltypes.Row) error {
+			if s.frag.project == nil {
+				rows = append(rows, row)
+				return nil
+			}
+			projected := make(sqltypes.Row, len(s.frag.project))
+			for i, it := range s.frag.project {
+				v, err := it.eval(wec)
+				if err != nil {
+					return err
+				}
+				projected[i] = v
+			}
+			rows = append(rows, projected)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.results[mi] = rows
+		s.done[mi] = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil
+	}, func() {
+		// Wake a consumer blocked on a morsel that will never complete
+		// (error or cancellation path).
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	return nil
+}
+
+func (s *parallelScanOp) next(_ *execCtx, out *sqltypes.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !out.Full() {
+		if s.consumed >= len(s.morsels) {
+			return s.run.firstErr()
+		}
+		for !s.done[s.consumed] {
+			if err := s.run.firstErr(); err != nil {
+				return err
+			}
+			if s.stopped {
+				return nil
+			}
+			s.cond.Wait()
+		}
+		rows := s.results[s.consumed]
+		for s.rowPos < len(rows) && !out.Full() {
+			out.Append(rows[s.rowPos])
+			s.rowPos++
+		}
+		if s.rowPos >= len(rows) {
+			s.results[s.consumed] = nil // morsel fully streamed; release it
+			s.consumed++
+			s.rowPos = 0
+			s.cond.Broadcast() // admit backpressured workers
+		}
+	}
+	return nil
+}
+
+func (s *parallelScanOp) close() {
+	if s.run == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stopped = true
+	s.run.stop.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.run.wg.Wait()
+	s.results = nil
+	s.run = nil
+}
+
+// --- plan rewrite ---
+
+// parallelizePlan rewrites a planned operator tree, replacing the
+// deepest parallel-safe fragment with a gather operator running at the
+// given degree. gated applies the auto-mode size floor (explicitly
+// requested degrees bypass it). The rewrite never changes result rows or
+// their order.
+func parallelizePlan(nd *Node, root op, degree int, gated bool) op {
+	switch o := root.(type) {
+	case *aggOp:
+		if frag, ok := extractFragment(o.child, gated); ok && aggsParallelSafe(o.groups, o.aggs) {
+			return &parallelAggOp{frag: frag, groups: o.groups, aggs: o.aggs, degree: degree}
+		}
+		o.child = parallelizePlan(nd, o.child, degree, gated)
+		return o
+	case *projectOp:
+		if frag, ok := extractFragment(o.child, gated); ok && exprsParallelSafe(o.items) {
+			frag.project = o.items
+			return &parallelScanOp{frag: frag, degree: degree}
+		}
+		o.child = parallelizePlan(nd, o.child, degree, gated)
+		return o
+	case *filterOp: // e.g. HAVING above an aggregate
+		o.child = parallelizePlan(nd, o.child, degree, gated)
+		return o
+	case *sortOp:
+		o.child = parallelizePlan(nd, o.child, degree, gated)
+		return o
+	case *limitOp:
+		o.child = parallelizePlan(nd, o.child, degree, gated)
+		return o
+	case *distinctOp:
+		o.child = parallelizePlan(nd, o.child, degree, gated)
+		return o
+	case *hashJoinOp:
+		// The probe side streams; its scan parallelizes under the serial
+		// probe loop (the join sits above the merge point). The build side
+		// is materialized into the hash table anyway and is typically the
+		// small input, so it stays serial.
+		if frag, ok := extractFragment(o.probe, gated); ok {
+			o.probe = &parallelScanOp{frag: frag, degree: degree}
+		} else {
+			o.probe = parallelizePlan(nd, o.probe, degree, gated)
+		}
+		return o
+	default:
+		return root
+	}
+}
+
+// extractFragment recognizes a parallel-safe chain of stacked filters
+// over a base-relation scan. gated rejects relations below the auto-mode
+// size floor.
+func extractFragment(o op, gated bool) (*fragSpec, bool) {
+	var filters []bexpr
+	for {
+		switch v := o.(type) {
+		case *filterOp:
+			if !parallelSafeExpr(v.cond) {
+				return nil, false
+			}
+			filters = append(filters, v.cond)
+			o = v.child
+		case *seqScanOp:
+			if gated && v.rel.LiveRows() < parallelMinRows {
+				return nil, false
+			}
+			if !parallelSafeExpr(v.filter) {
+				return nil, false
+			}
+			reverseExprs(filters)
+			return &fragSpec{rel: v.rel, scanFilter: v.filter, filters: filters}, true
+		case *indexScanOp:
+			if gated && v.rel.LiveRows() < parallelMinRows {
+				return nil, false
+			}
+			if !parallelSafeExpr(v.filter) || !exprsParallelSafe(v.lo) || !exprsParallelSafe(v.hi) {
+				return nil, false
+			}
+			reverseExprs(filters)
+			return &fragSpec{
+				rel: v.rel, index: v.index,
+				lo: v.lo, hi: v.hi, loIncl: v.loIncl, hiIncl: v.hiIncl,
+				scanFilter: v.filter, filters: filters,
+			}, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// reverseExprs restores innermost-first filter order (extraction walks
+// top-down); application order must match the serial pipeline so
+// evaluation errors surface for the same rows.
+func reverseExprs(s []bexpr) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func aggsParallelSafe(groups []bexpr, aggs []*aggDef) bool {
+	if !exprsParallelSafe(groups) {
+		return false
+	}
+	for _, def := range aggs {
+		if def.distinct {
+			// DISTINCT needs a cross-morsel duplicate set; serial fallback.
+			return false
+		}
+		if def.arg != nil && !parallelSafeExpr(def.arg) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprsParallelSafe(es []bexpr) bool {
+	for _, e := range es {
+		if !parallelSafeExpr(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelSafeExpr reports whether a bound expression may be evaluated
+// concurrently from multiple workers. Sub-plan expressions (EXISTS, IN
+// (SELECT), scalar sub-queries) hold a mutable materialization cache and
+// are rejected; unknown expression types are rejected conservatively.
+func parallelSafeExpr(e bexpr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *colExpr, *paramExpr, *litExpr, *aggRefExpr:
+		return true
+	case *binExpr:
+		return parallelSafeExpr(x.l) && parallelSafeExpr(x.r)
+	case *negExpr:
+		return parallelSafeExpr(x.e)
+	case *cmpExpr:
+		return parallelSafeExpr(x.l) && parallelSafeExpr(x.r)
+	case *andExpr:
+		return parallelSafeExpr(x.l) && parallelSafeExpr(x.r)
+	case *orExpr:
+		return parallelSafeExpr(x.l) && parallelSafeExpr(x.r)
+	case *notExpr:
+		return parallelSafeExpr(x.e)
+	case *betweenExpr:
+		return parallelSafeExpr(x.e) && parallelSafeExpr(x.lo) && parallelSafeExpr(x.hi)
+	case *inListExpr:
+		return parallelSafeExpr(x.e) && exprsParallelSafe(x.list)
+	case *likeExpr:
+		return parallelSafeExpr(x.e) && parallelSafeExpr(x.pattern)
+	case *isNullExpr:
+		return parallelSafeExpr(x.e)
+	case *caseExpr:
+		for _, w := range x.whens {
+			if !parallelSafeExpr(w.cond) || !parallelSafeExpr(w.then) {
+				return false
+			}
+		}
+		return parallelSafeExpr(x.els)
+	case *extractExpr:
+		return parallelSafeExpr(x.e)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,75 @@
+package engine_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"apuama/internal/costmodel"
+	"apuama/internal/engine"
+	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
+	"apuama/internal/tpch"
+)
+
+// tpchFingerprint serializes a result bit-exactly (floats by IEEE bit
+// pattern): equal fingerprints mean bit-identical output.
+func tpchFingerprint(res *engine.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			if v.K == sqltypes.KindFloat {
+				fmt.Fprintf(&b, "f%016x|", math.Float64bits(v.F))
+				continue
+			}
+			fmt.Fprintf(&b, "%v|", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelTPCHDeterminism is the acceptance determinism run: TPC-H
+// Q1 and Q6 executed 100 times at parallel degree 4 must be bit-identical
+// run to run. The morsel decomposition depends only on the data and
+// per-morsel partials merge in morsel-index order, so goroutine
+// scheduling must never leak into the result bits.
+func TestParallelTPCHDeterminism(t *testing.T) {
+	db := engine.NewDatabase(costmodel.TestConfig())
+	if _, err := (tpch.Generator{SF: 0.002, Seed: 1}).Load(db); err != nil {
+		t.Fatal(err)
+	}
+	nd := engine.NewNode(0, db)
+	for _, qn := range []int{1, 6} {
+		text := tpch.MustQuery(qn)
+		stmt, err := sql.Parse(text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", qn, err)
+		}
+		sel, ok := stmt.(*sql.SelectStmt)
+		if !ok {
+			t.Fatalf("Q%d is not a SELECT", qn)
+		}
+		wm := nd.Watermark()
+		run := func() string {
+			res, err := nd.QueryStmtAt(sel, wm, engine.QueryOpts{Parallelism: 4})
+			if err != nil {
+				t.Fatalf("Q%d: %v", qn, err)
+			}
+			return tpchFingerprint(res)
+		}
+		first := run()
+		if first == "" {
+			t.Fatalf("Q%d: empty result", qn)
+		}
+		for i := 1; i < 100; i++ {
+			if fp := run(); fp != first {
+				t.Fatalf("Q%d run %d diverged at degree 4:\n%s\nvs first run:\n%s", qn, i, fp, first)
+			}
+		}
+	}
+	if q, m, _ := nd.ParallelStats(); q == 0 || m == 0 {
+		t.Fatalf("no parallel fragments ran (queries=%d, morsels=%d)", q, m)
+	}
+}

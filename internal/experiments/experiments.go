@@ -56,6 +56,10 @@ type Config struct {
 	// Cache enables the versioned result cache (zero = off, the paper
 	// configuration); the cache experiment sets it.
 	Cache cache.Config
+	// Parallelism is the intra-node morsel-driven degree applied inside
+	// each node engine (0 = auto, 1 = serial — the paper configuration,
+	// whose nodes were single-core).
+	Parallelism int
 }
 
 // Default returns the configuration used for the recorded runs in
@@ -69,6 +73,9 @@ func Default() Config {
 		ReadStreams:  3,
 		UpdateOrders: 52, // 52,500 txns at SF 5, scaled by SF/5
 		Cost:         ExperimentCost(),
+		// The paper's nodes were single-core; pin serial so recorded
+		// figures don't vary with the harness host's GOMAXPROCS.
+		Parallelism: 1,
 	}
 }
 
@@ -133,6 +140,7 @@ func buildStack(n int, cfg Config) (*stack, error) {
 	opts.MaxStaleness = cfg.MaxStaleness
 	opts.ForceIndexScan = !cfg.AllowSeqscan
 	opts.Cache = cfg.Cache
+	opts.Parallelism = cfg.Parallelism
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{Cost: cfg.Cost})
 	return &stack{db: db, nodes: nodes, eng: eng, ctl: ctl}, nil

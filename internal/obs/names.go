@@ -57,6 +57,13 @@ const (
 	MCachePartialBytes   = "apuama_cache_partial_bytes"        // gauge: resident bytes, partial layer
 	MCachePartialEntries = "apuama_cache_partial_entries"      // gauge: resident partition entries
 
+	// Intra-node morsel-driven parallelism (internal/engine), labeled
+	// {node=...}.
+	MEngineParallelQueries = "apuama_engine_parallel_queries_total" // plans that ran a parallel fragment
+	MEngineMorsels         = "apuama_engine_morsels_total"          // morsels dispatched to workers
+	MEngineMorselSteals    = "apuama_engine_morsel_steals_total"    // morsels stolen across worker shards
+	MEngineWorkerUtil      = "apuama_engine_worker_utilization_pct" // gauge: busy/(wall×degree) of the last fragment
+
 	// Node processors.
 	MPoolWait     = "apuama_pool_wait_seconds"     // connection-pool admission wait, labeled {node=...}
 	MNodeInflight = "apuama_node_inflight"         // gauge, labeled {node=...}

@@ -48,6 +48,14 @@ func NewBufferPool(capacity int, meter *costmodel.Meter) *BufferPool {
 // Access records a read of the page, evicting the LRU page on a miss and
 // charging the meter with sequential or random read latency.
 func (b *BufferPool) Access(pageID int64, sequential bool) {
+	b.AccessTo(pageID, sequential, b.meter)
+}
+
+// AccessTo is Access with the miss latency charged to an explicit meter.
+// Parallel workers share the node's one buffer pool (residency is a
+// per-node property) but each pays its own IO out of a private meter so
+// concurrent misses overlap instead of serializing on the node meter.
+func (b *BufferPool) AccessTo(pageID int64, sequential bool, meter *costmodel.Meter) {
 	b.mu.Lock()
 	n, ok := b.table[pageID]
 	if ok {
@@ -66,11 +74,11 @@ func (b *BufferPool) Access(pageID int64, sequential bool) {
 	}
 	b.mu.Unlock()
 	b.misses.Add(1)
-	cfg := b.meter.Config()
+	cfg := meter.Config()
 	if sequential {
-		b.meter.Charge(cfg.SeqPageRead)
+		meter.Charge(cfg.SeqPageRead)
 	} else {
-		b.meter.Charge(cfg.RandPageRead)
+		meter.Charge(cfg.RandPageRead)
 	}
 }
 
