@@ -11,13 +11,23 @@ import (
 // Explain plans a SELECT and renders the operator tree, one line per
 // node, PostgreSQL-style. It is the observability hook the shell and
 // tests use to verify planner decisions (index vs sequential scan, join
-// order, build sides).
+// order, build sides). The parallel degree resolves from the node
+// default, as in a query run without per-query overrides; use
+// ExplainOpts to see the plan a specific QueryOpts would execute.
 func (nd *Node) Explain(sel *sql.SelectStmt) (*Result, error) {
+	return nd.ExplainOpts(sel, QueryOpts{})
+}
+
+// ExplainOpts renders the plan exactly as QueryStmtAt would execute it
+// under the same QueryOpts — in particular the parallel degree resolves
+// through the identical resolveParallelism(opts.Parallelism) call, so
+// the explained gather degree never diverges from the executed one.
+func (nd *Node) ExplainOpts(sel *sql.SelectStmt, opts QueryOpts) (*Result, error) {
 	root, _, err := nd.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	if degree, gated := nd.resolveParallelism(0); degree > 1 {
+	if degree, gated := nd.resolveParallelism(opts.Parallelism); degree > 1 {
 		root = parallelizePlan(nd, root, degree, gated)
 	}
 	var lines []string

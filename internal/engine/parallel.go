@@ -254,7 +254,16 @@ type fragRun struct {
 	errMu sync.Mutex
 	err   error
 
-	busy atomic.Int64 // summed worker wall-clock, for the utilization gauge
+	// notify, when non-nil, is called every time stop is raised (error,
+	// cancellation). Owners whose workers or consumer can park on a
+	// condition variable (parallelScanOp's backpressure wait and
+	// morsel-order wait) set it to a broadcast, so a stop reaches parked
+	// goroutines that would otherwise sleep through it: the done-callback
+	// broadcast alone cannot wake them, because it only runs after all
+	// workers exit — which a parked worker can't do without a wakeup.
+	notify func()
+
+	busy atomic.Int64 // summed worker execution time, for the utilization gauge
 	wg   sync.WaitGroup
 }
 
@@ -265,7 +274,15 @@ func (r *fragRun) setErr(err error) {
 	}
 	r.errMu.Unlock()
 	r.stop.Store(true)
+	if r.notify != nil {
+		r.notify()
+	}
 }
+
+// noteIdle subtracts time a worker spent parked (the scan backpressure
+// wait) from the busy accumulator, so the utilization gauge reflects
+// execution time only, not time blocked on a slow consumer.
+func (r *fragRun) noteIdle(d time.Duration) { r.busy.Add(-int64(d)) }
 
 func (r *fragRun) firstErr() error {
 	r.errMu.Lock()
@@ -282,11 +299,26 @@ func (r *fragRun) firstErr() error {
 func (r *fragRun) start(ex *execCtx, handle func(wex *execCtx, wec *evalCtx, mi int) error, done func()) {
 	start := time.Now()
 	cfg := ex.meter.Config()
+	// Watch for context cancellation from outside the worker loops: the
+	// per-morsel ctx check can't fire while every worker is parked in a
+	// backpressure wait, so a dedicated watcher raises stop (which
+	// notifies cond-parked goroutines) the moment the deadline hits.
+	var stopWatch chan struct{}
+	if ex.ctx != nil {
+		stopWatch = make(chan struct{})
+		ctx := ex.ctx
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.setErr(ctx.Err())
+			case <-stopWatch:
+			}
+		}()
+	}
 	for w := 0; w < r.degree; w++ {
 		r.wg.Add(1)
 		go func(self int) {
 			defer r.wg.Done()
-			t0 := time.Now()
 			wm := costmodel.NewMeter(cfg)
 			wex := &execCtx{node: ex.node, snapshot: ex.snapshot, params: ex.params, meter: wm, ctx: ex.ctx, batchCap: ex.batchCap}
 			wec := evalCtx{ex: wex}
@@ -301,23 +333,28 @@ func (r *fragRun) start(ex *execCtx, handle func(wex *execCtx, wec *evalCtx, mi 
 				if !ok {
 					break
 				}
-				if err := handle(wex, &wec, mi); err != nil {
+				t0 := time.Now()
+				err := handle(wex, &wec, mi)
+				r.busy.Add(int64(time.Since(t0)))
+				if err != nil {
 					r.setErr(err)
 					break
 				}
 			}
 			wm.Flush()
 			ex.meter.AbsorbVirtual(wm.Virtual())
-			r.busy.Add(int64(time.Since(t0)))
 		}(w)
 	}
 	nd := ex.node
 	go func() {
 		r.wg.Wait()
+		if stopWatch != nil {
+			close(stopWatch)
+		}
 		nd.pstats.addSteals(r.queue.steals.Load())
 		if wall := time.Since(start); wall > 0 && r.degree > 0 {
 			util := 100 * r.busy.Load() / (int64(wall) * int64(r.degree))
-			nd.pstats.setUtilization(min(util, 100))
+			nd.pstats.setUtilization(min(max(util, 0), 100))
 		}
 		if done != nil {
 			done()
@@ -510,11 +547,27 @@ func (s *parallelScanOp) open(ex *execCtx) error {
 	s.run = &fragRun{queue: newMorselQueue(len(morsels), s.degree), degree: s.degree}
 
 	run := s.run
-	run.start(ex, func(wex *execCtx, wec *evalCtx, mi int) error {
-		// Backpressure: wait until the consumer is within the window.
+	// Wake parked goroutines the moment any worker (or the ctx watcher)
+	// raises stop: both the backpressure wait below and the consumer's
+	// morsel-order wait in next park on s.cond, and the morsel completion
+	// or done-callback broadcasts that normally wake them never arrive on
+	// the error/cancel path while a worker is still parked.
+	run.notify = func() {
 		s.mu.Lock()
-		for mi >= s.consumed+scanWindow*s.degree && !s.stopped && !run.stop.Load() {
-			s.cond.Wait()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	run.start(ex, func(wex *execCtx, wec *evalCtx, mi int) error {
+		// Backpressure: wait until the consumer is within the window. Time
+		// parked here is idle, not busy — report it back to the run so the
+		// utilization gauge is not inflated by a slow consumer.
+		s.mu.Lock()
+		if mi >= s.consumed+scanWindow*s.degree && !s.stopped && !run.stop.Load() {
+			idle0 := time.Now()
+			for mi >= s.consumed+scanWindow*s.degree && !s.stopped && !run.stop.Load() {
+				s.cond.Wait()
+			}
+			run.noteIdle(time.Since(idle0))
 		}
 		stopped := s.stopped
 		s.mu.Unlock()

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"apuama/internal/costmodel"
 	"apuama/internal/obs"
@@ -298,6 +300,176 @@ func TestParallelCancellation(t *testing.T) {
 	}
 }
 
+// TestParallelMidstreamCancel cancels the context after the scan gather
+// has started streaming and its workers have run ahead into the
+// backpressure wait. The stop must reach goroutines parked on the scan's
+// condition variable (lost-wakeup regression: setErr raising stop
+// without a broadcast left the parked worker, and with it close(),
+// waiting forever).
+func TestParallelMidstreamCancel(t *testing.T) {
+	_, nd := newParallelDB(t, 3000, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stmt := mustSelect(t, "select ok, ln, price from items")
+	cur, err := nd.OpenQueryStmtAt(stmt, nd.Watermark(), QueryOpts{Parallelism: 2, Ctx: ctx, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		b := sqltypes.GetBatch()
+		defer sqltypes.PutBatch(b)
+		// Consume one batch, then let the workers fill the run-ahead
+		// window and park before the cancel lands.
+		if err := cur.Next(b); err != nil {
+			cur.Close()
+			errc <- err
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+		for {
+			if err := cur.Next(b); err != nil {
+				cur.Close()
+				errc <- err
+				return
+			}
+			if b.Len() == 0 {
+				cur.Close()
+				errc <- nil
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query hung after mid-stream cancellation (lost wakeup)")
+	}
+}
+
+// TestParallelMidstreamError drives a scan gather whose fragment errors
+// deep into the table (division by zero at ok=2000 of 3000) through a
+// deliberately slow consumer, so the error fires while other workers sit
+// in the backpressure wait. The error must surface through the cursor
+// and Close must return — the same lost-wakeup interleaving as above,
+// reached through fragSpec eval failure instead of cancellation.
+func TestParallelMidstreamError(t *testing.T) {
+	_, nd := newParallelDB(t, 3000, 3)
+	stmt := mustSelect(t, "select ok, price / (ok - 2000) from items")
+	errc := make(chan error, 1)
+	go func() {
+		cur, err := nd.OpenQueryStmtAt(stmt, nd.Watermark(), QueryOpts{Parallelism: 2, BatchSize: 64})
+		if err != nil {
+			errc <- err
+			return
+		}
+		b := sqltypes.GetBatch()
+		defer sqltypes.PutBatch(b)
+		for {
+			if err := cur.Next(b); err != nil {
+				cur.Close()
+				errc <- err
+				return
+			}
+			if b.Len() == 0 {
+				cur.Close()
+				errc <- nil
+				return
+			}
+			time.Sleep(time.Millisecond) // keep workers ahead of the consumer
+		}
+	}()
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "division by zero") {
+			t.Fatalf("err = %v, want division by zero", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query hung after mid-stream evaluation error (lost wakeup)")
+	}
+}
+
+// gateExpr is a filter that passes every row until it meets the trigger
+// value in column 0, then signals armed, blocks until release closes,
+// and fails with an injected evaluation error. It freezes one worker
+// mid-morsel so a test can stage the exact goroutine interleaving it
+// needs before letting the error fire.
+type gateExpr struct {
+	trigger int64
+	armed   chan struct{} // closed by eval on reaching the trigger row
+	release chan struct{} // closed by the test to let eval return its error
+	once    sync.Once
+}
+
+func (e *gateExpr) eval(ec *evalCtx) (sqltypes.Value, error) {
+	if ec.row[0].I == e.trigger {
+		e.once.Do(func() { close(e.armed) })
+		<-e.release
+		return sqltypes.NewBool(false), errors.New("gate: injected morsel failure")
+	}
+	return sqltypes.NewBool(true), nil
+}
+
+// TestParallelScanErrorWakesParkedWaiters stages the lost-wakeup
+// interleaving deterministically: worker A freezes inside morsel 0 (the
+// gate filter), the consumer parks in next waiting for morsel 0, worker
+// B races ahead and parks in the backpressure wait, and only then does
+// A's morsel fail. setErr must wake both parked goroutines — before the
+// notify hook, A exited without a broadcast, the done-callback broadcast
+// needed B to exit first, and the query hung forever.
+func TestParallelScanErrorWakesParkedWaiters(t *testing.T) {
+	db, nd := newParallelDB(t, 3000, 3)
+	rel, err := db.Relation("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateExpr{trigger: 1, armed: make(chan struct{}), release: make(chan struct{})}
+	s := &parallelScanOp{frag: &fragSpec{rel: rel, filters: []bexpr{gate}}, degree: 2}
+	ex := &execCtx{node: nd, snapshot: nd.Watermark(), meter: nd.meter}
+	if err := s.open(ex); err != nil {
+		t.Fatal(err)
+	}
+	// The staged deadlock needs worker B to outrun the whole run-ahead
+	// window while A sits in morsel 0.
+	if len(s.morsels) <= scanWindow*s.degree+2 {
+		t.Fatalf("table spans %d morsels, need > %d for a backpressured worker", len(s.morsels), scanWindow*s.degree+2)
+	}
+	select {
+	case <-gate.armed: // A is frozen inside morsel 0
+	case <-time.After(30 * time.Second):
+		t.Fatal("gate never armed: no worker reached morsel 0")
+	}
+	nextErr := make(chan error, 1)
+	go func() {
+		b := sqltypes.GetBatch()
+		defer sqltypes.PutBatch(b)
+		nextErr <- s.next(ex, b)
+	}()
+	// Let the consumer park on morsel 0 and B park in the backpressure
+	// wait, then release A into its error.
+	time.Sleep(100 * time.Millisecond)
+	close(gate.release)
+	select {
+	case err := <-nextErr:
+		if err == nil || !strings.Contains(err.Error(), "injected morsel failure") {
+			t.Fatalf("next returned %v, want the injected morsel failure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer parked in next never woke after the worker error (lost wakeup)")
+	}
+	closed := make(chan struct{})
+	go func() { s.close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("close hung waiting for a parked worker (lost wakeup)")
+	}
+}
+
 // TestParallelExplain: EXPLAIN shows the gather operator, its degree and
 // the merge point once a default degree is configured.
 func TestParallelExplain(t *testing.T) {
@@ -336,6 +508,29 @@ func TestParallelExplain(t *testing.T) {
 	}
 	if plan = res.String(); strings.Contains(plan, "Gather") {
 		t.Errorf("DISTINCT aggregate should stay serial:\n%s", plan)
+	}
+}
+
+// TestExplainOptsParallelism: ExplainOpts resolves the degree from the
+// same QueryOpts execution would use, so an explicit per-query degree
+// shows in the plan even when the node default is unset (where plain
+// Explain stays serial: auto mode gates this small relation out).
+func TestExplainOptsParallelism(t *testing.T) {
+	_, nd := newParallelDB(t, 500, 3) // below parallelMinRows
+	stmt := mustSelect(t, "select tag, sum(price) from items group by tag")
+	res, err := nd.ExplainOpts(stmt, QueryOpts{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := res.String(); !strings.Contains(plan, "Gather (parallel degree 2, merge at partial aggregate)") {
+		t.Errorf("ExplainOpts{Parallelism: 2} missing gather line:\n%s", plan)
+	}
+	res, err = nd.Explain(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := res.String(); strings.Contains(plan, "Gather") {
+		t.Errorf("default Explain should stay serial below the size floor:\n%s", plan)
 	}
 }
 
