@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet staticcheck race race-cpu fuzz-replay fuzz-smoke cover bench bench-micro bench-cache bench-baseline bench-compare clean
+.PHONY: all build test tier1 vet staticcheck race race-cpu fuzz-replay fuzz-smoke cover bench bench-micro bench-cache bench-overload bench-baseline bench-compare clean
 
 all: build test
 
@@ -94,6 +94,12 @@ bench-compare:
 # written as JSON for plotting.
 bench-cache:
 	$(GO) run ./cmd/apuama-bench -exp cache -quick -json bench-cache.json
+
+# Overload/saturation study: goodput, shed rate and answered-query p95
+# at 1x/2x/4x the admission gate's capacity, written as JSON for
+# plotting. Goodput should hold roughly flat past 1x.
+bench-overload:
+	$(GO) run ./cmd/apuama-bench -exp overload -quick -json bench-overload.json
 
 clean:
 	$(GO) clean ./...

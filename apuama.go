@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"time"
 
+	"apuama/internal/admission"
 	"apuama/internal/cache"
 	"apuama/internal/cluster"
 	"apuama/internal/core"
@@ -61,6 +62,33 @@ type CacheStats = cache.Stats
 func WithCacheControl(ctx context.Context, ctl CacheControl) context.Context {
 	return cache.WithControl(ctx, ctl)
 }
+
+// Overload-protection surface (see internal/admission and the
+// "Overload & graceful degradation" section of DESIGN.md).
+var (
+	// ErrOverloaded matches every load-shedding rejection: the cluster
+	// refused the query without doing any work. Always safe to retry
+	// after the RetryAfter hint.
+	ErrOverloaded = admission.ErrOverloaded
+	// ErrMemoryBudget matches queries aborted because their composition
+	// memory would exceed the cluster-wide budget. Not retryable as-is.
+	ErrMemoryBudget = admission.ErrMemoryBudget
+	// ErrSlowQuery matches queries cancelled by the slow-query killer.
+	ErrSlowQuery = admission.ErrSlowQuery
+)
+
+// Retryable reports whether err is a load-shedding rejection the caller
+// should retry after backing off (errors.Is(err, ErrOverloaded)); it
+// holds across the wire protocol too.
+func Retryable(err error) bool { return admission.Retryable(err) }
+
+// RetryAfter extracts a shed error's back-off hint (0 when none).
+func RetryAfter(err error) time.Duration { return admission.RetryAfter(err) }
+
+// AdmissionStats is the overload-protection counters: admitted / queued
+// / shed queries, memory aborts, slow-query kills, and the current
+// brownout level.
+type AdmissionStats = admission.Stats
 
 // FaultInjector scripts deterministic faults for one node; attach with
 // Cluster.InjectFaults. See internal/fault for the taxonomy.
@@ -163,6 +191,27 @@ type Config struct {
 	// manual RecoverNode (the original C-JDBC behaviour).
 	DisableAutoRecovery bool
 
+	// MaxConcurrent > 0 enables admission control: at most this much
+	// query weight executes SVP concurrently; the excess queues briefly
+	// (bounded by MaxQueue and a deadline-aware wait) and is shed with a
+	// typed retryable ErrOverloaded when the cluster is saturated.
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue (default 4×MaxConcurrent).
+	MaxQueue int
+	// MemoryBudget > 0 bounds the total bytes of partial-result state
+	// (gather buffers, composer tables) held by in-flight queries; a
+	// query whose growth cannot fit aborts with ErrMemoryBudget.
+	MemoryBudget int64
+	// Brownout enables graceful degradation under sustained saturation:
+	// a load controller progressively caps intra-node parallelism,
+	// raises the effective cache staleness bound, and disables hedged
+	// sub-queries, restoring each knob as pressure drains.
+	Brownout bool
+	// SlowKillMultiple > 0 enables the slow-query killer: a query
+	// running longer than SlowKillMultiple × its weight-scaled class
+	// budget (1s per weight unit) is cancelled with ErrSlowQuery.
+	SlowKillMultiple float64
+
 	// Trace enables per-query span tracing: every query records its
 	// lifecycle as a span tree, retained in a bounded slow-query log
 	// (read it with Cluster.SlowLog). Off by default; the metrics
@@ -236,6 +285,13 @@ func Open(cfg Config) (*Cluster, error) {
 	opts.DisableHedging = cfg.DisableHedging
 	opts.HedgeMultiplier = cfg.HedgeMultiplier
 	opts.Cache = cfg.Cache
+	opts.Admission = admission.Config{
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxQueue:      cfg.MaxQueue,
+		MemoryBudget:  cfg.MemoryBudget,
+		Brownout:      cfg.Brownout,
+		KillMultiple:  cfg.SlowKillMultiple,
+	}
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{
 		Policy:              cfg.Policy,
@@ -254,9 +310,14 @@ func Open(cfg Config) (*Cluster, error) {
 	}, nil
 }
 
-// Close stops the cluster's background recovery probes. Queries keep
-// working, but tripped backends are no longer auto-recovered.
-func (c *Cluster) Close() { c.ctl.Close() }
+// Close stops the cluster's background loops: the controller's recovery
+// probes and the admission controller's sweeper (queued admission
+// waiters are shed). Queries keep working, but tripped backends are no
+// longer auto-recovered and no new query is admitted.
+func (c *Cluster) Close() {
+	c.ctl.Close()
+	c.eng.Close()
+}
 
 // LoadTPCH creates the TPC-H schema and deterministically populates it
 // at the given scale factor (the paper ran SF 5 on real hardware; see
@@ -311,6 +372,10 @@ func (c *Cluster) ControllerStats() CtlStats { return c.ctl.Snapshot() }
 // CacheStats returns the result cache's counters (the zero value when
 // caching is disabled).
 func (c *Cluster) CacheStats() CacheStats { return c.eng.Cache().Stats() }
+
+// AdmissionStats returns the overload-protection counters (the zero
+// value when admission control is disabled).
+func (c *Cluster) AdmissionStats() AdmissionStats { return c.eng.Admission().Snapshot() }
 
 // InjectFaults attaches a fault injector to node i (nil detaches). The
 // injector scripts crashes, stragglers, flaky errors and delayed

@@ -12,9 +12,11 @@
 //
 // With -metrics-addr it additionally serves observability over HTTP:
 //
-//	GET /metrics       Prometheus text exposition of the cluster registry
-//	GET /debug/slowlog JSON span trees of recent slow queries (needs -trace)
-//	GET /debug/cache   JSON counters of the result cache (needs -cache-entries)
+//	GET /metrics         Prometheus text exposition of the cluster registry
+//	GET /debug/slowlog   JSON span trees of recent slow queries (needs -trace)
+//	GET /debug/cache     JSON counters of the result cache (needs -cache-entries)
+//	GET /debug/admission JSON counters of the overload-protection subsystem
+//	                     (needs -max-concurrent / -memory-budget / -brownout)
 package main
 
 import (
@@ -63,6 +65,14 @@ func serveObs(addr string, c *apuama.Cluster) (*http.Server, error) {
 			log.Printf("apuamad: /debug/cache: %v", err)
 		}
 	})
+	mux.HandleFunc("/debug/admission", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.AdmissionStats()); err != nil {
+			log.Printf("apuamad: /debug/admission: %v", err)
+		}
+	})
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -88,6 +98,12 @@ func main() {
 		sleep    = flag.Bool("realtime", false, "sleep simulated latencies (realistic timing)")
 		par      = flag.Int("parallelism", 0, "intra-node morsel-driven degree per node engine (0 = auto, 1 = serial)")
 
+		maxConc   = flag.Int("max-concurrent", 0, "admission gate capacity in weighted query slots (0 = gate off)")
+		maxQueue  = flag.Int("max-queue", 0, "admission wait-queue bound (default 4 x -max-concurrent)")
+		memBudget = flag.Int64("memory-budget", 0, "cluster-wide composition-memory budget in bytes (0 = unlimited)")
+		brownout  = flag.Bool("brownout", false, "enable the graceful-degradation ladder under sustained overload")
+		slowKill  = flag.Float64("slow-kill", 0, "cancel queries running past this multiple of their class budget (0 = off)")
+
 		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity in composed results (0 = caching off)")
 		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (with -cache-entries)")
 		cacheTTL     = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = no expiry)")
@@ -102,8 +118,10 @@ func main() {
 
 	cfg := apuama.Config{
 		Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale,
-		Parallelism: *par,
-		Trace:       *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,
+		Parallelism:   *par,
+		MaxConcurrent: *maxConc, MaxQueue: *maxQueue, MemoryBudget: *memBudget,
+		Brownout: *brownout, SlowKillMultiple: *slowKill,
+		Trace: *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,
 	}
 	if *cacheEntries > 0 {
 		cfg.Cache = apuama.CacheConfig{

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apuama/internal/admission"
 	"apuama/internal/cache"
 	"apuama/internal/cluster"
 	"apuama/internal/costmodel"
@@ -80,6 +81,14 @@ type Options struct {
 	// implicitly invalidates — see DESIGN.md "Result caching & work
 	// sharing".
 	Cache cache.Config
+
+	// Admission configures overload protection for the SVP path:
+	// admission control with bounded queueing and typed load shedding, a
+	// cluster-wide memory budget for composition state, brownout
+	// degradation under sustained saturation, and the slow-query killer.
+	// The zero value disables all of it (every query admitted, no
+	// budget). See DESIGN.md "Overload & graceful degradation".
+	Admission admission.Config
 
 	// QueryTimeout is the per-query deadline applied by RunSVP when the
 	// caller's context carries none. Zero disables the default deadline.
@@ -172,7 +181,8 @@ type Engine struct {
 	gate    *blocker
 	opts    Options
 	net     *costmodel.Meter
-	cache   *cache.Cache // nil unless Options.Cache enables it
+	cache   *cache.Cache          // nil unless Options.Cache enables it
+	adm     *admission.Controller // nil unless Options.Admission enables it
 
 	// st is the engine's counter block (atomic fields; see stats.go) and
 	// m the pre-resolved metric handles mirroring it into Options.Metrics.
@@ -223,6 +233,12 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 		cache:   cache.New(opts.Cache, opts.Metrics),
 		m:       newEngineMetrics(opts.Metrics),
 	}
+	if admCfg := opts.Admission; admCfg.Enabled() {
+		if admCfg.Metrics == nil {
+			admCfg.Metrics = opts.Metrics
+		}
+		e.adm = admission.New(admCfg)
+	}
 	e.st.wire(opts.Metrics)
 	for _, nd := range nodes {
 		if opts.Parallelism != 0 {
@@ -232,6 +248,10 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 		}
 		p := NewNodeProcessor(nd, opts.PoolSize)
 		p.parallelism = opts.Parallelism
+		// Brownout consultation: under saturation the admission ladder
+		// caps the intra-node degree every sub-query runs with (a nil
+		// controller's DegreeCap reports 0 = uncapped).
+		p.capDegree = e.adm.DegreeCap
 		p.setObs(opts.Metrics)
 		e.procs = append(e.procs, p)
 	}
@@ -250,6 +270,18 @@ func (e *Engine) Backends() []cluster.Backend {
 
 // Procs exposes the node processors (experiments inspect node meters).
 func (e *Engine) Procs() []*NodeProcessor { return e.procs }
+
+// Admission exposes the overload-protection controller (nil when
+// Options.Admission is disabled); the daemon's stats endpoint and tests
+// read its counters and force brownout levels through it.
+func (e *Engine) Admission() *admission.Controller { return e.adm }
+
+// Close releases the engine's background resources: the admission
+// controller's sweeper goroutine and any queued admission waiters (shed
+// with an overload error). Safe on an engine without admission.
+func (e *Engine) Close() {
+	e.adm.Close()
+}
 
 // Cache exposes the query cache (nil when disabled); the daemon's
 // /debug/cache endpoint and tests read its occupancy stats.
@@ -353,12 +385,18 @@ func (e *Engine) countFallback(err error) {
 func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Result, error) {
 	ctl := cache.ControlFrom(ctx)
 	if e.cache == nil || ctl.NoCache {
-		res, _, err := e.runSVP(ctx, sel, false)
+		res, _, err := e.admitAndRun(ctx, sel, false)
 		return res, err
 	}
 	qspan := obs.SpanFrom(ctx)
 	fp := sql.FingerprintStmt(sel)
 	maxStale := e.cache.StaleBound(ctl)
+	// Brownout: under sustained saturation the degradation ladder raises
+	// the effective staleness bound, so more queries are absorbed by
+	// slightly-stale cached results instead of executing (nil-safe).
+	if f := e.adm.StaleFloor(); f > maxStale {
+		maxStale = f
+	}
 	epoch := e.headEpoch()
 	if res, at, ok := e.cache.Lookup(fp, epoch, maxStale); ok {
 		e.st.cacheHits.Inc()
@@ -376,7 +414,7 @@ func (e *Engine) RunSVP(ctx context.Context, sel *sql.SelectStmt) (*engine.Resul
 		if res, _, ok := e.cache.Peek(fp, epoch, maxStale); ok {
 			return res, nil
 		}
-		res, snapshot, err := e.runSVP(ctx, sel, true)
+		res, snapshot, err := e.admitAndRun(ctx, sel, true)
 		if err == nil {
 			// The fill is keyed by the barrier snapshot the sub-queries
 			// were pinned to — the epoch the result is actually valid at
@@ -438,7 +476,7 @@ func (e *Engine) headEpoch() int64 {
 // Attempts are identity-tagged, so the sink can discard a partially
 // streamed attempt that fails or loses its hedge race after delivering
 // batches.
-func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial bool) (*engine.Result, int64, error) {
+func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial bool, resv *admission.Reservation) (*engine.Result, int64, error) {
 	if e.opts.QueryTimeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
 			var cancel context.CancelFunc
@@ -468,6 +506,15 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 		return nil, 0, fmt.Errorf("no live nodes")
 	}
 	n := len(procs)
+
+	// The gather channel's slots are the query's first memory charge:
+	// each can hold one full batch in flight, so the whole backpressure
+	// buffer is reserved up front — a query that cannot even afford its
+	// gather buffer aborts here, before the barrier blocks any write and
+	// before any sub-query dispatches.
+	if err := resv.Grow(int64(e.opts.GatherBudget*n) * gatherSlotBytes); err != nil {
+		return nil, 0, err
+	}
 
 	// Consistency barrier: block updates, wait for equal transaction
 	// counters, capture the snapshot, dispatch, unblock. The relaxed
@@ -662,7 +709,7 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	// in partition order inside the sink: floating-point aggregates are
 	// not associative, so arrival-order composition would make the
 	// answer depend on which replica was slow or hedged.
-	sink := e.newComposeSink(rw, n)
+	sink := e.newComposeSink(rw, n, resv)
 	var totalRows int64
 	var firstErr error
 	done := make([]bool, n)
@@ -829,7 +876,7 @@ gather:
 					cancelWork()
 					break gather
 				}
-				if !e.opts.DisableHedging && hedgeTimer == nil && completed >= (n+1)/2 && completed < n {
+				if !e.opts.DisableHedging && !e.adm.HedgingDisabled() && hedgeTimer == nil && completed >= (n+1)/2 && completed < n {
 					threshold := hedgeThreshold(completions, e.opts.HedgeMultiplier)
 					hedgeTimer = time.NewTimer(time.Until(start.Add(threshold)))
 					hedgeC = hedgeTimer.C

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"apuama/internal/admission"
 	"apuama/internal/engine"
 	"apuama/internal/memdb"
 	"apuama/internal/sqltypes"
@@ -45,10 +46,13 @@ type composeSink interface {
 // stand-in) load for the default path and for plain rewrites, the
 // streaming fold for aggregate rewrites under the StreamCompose
 // ablation. Both begin consuming on the first arriving batch.
-func (e *Engine) newComposeSink(rw *Rewrite, n int) composeSink {
+// Every sink charges the memory it retains — buffered attempt rows,
+// fold-table groups — against the query's admission reservation (a nil
+// reservation is a no-op, so the sinks charge unconditionally).
+func (e *Engine) newComposeSink(rw *Rewrite, n int, res *admission.Reservation) composeSink {
 	if e.opts.StreamCompose && len(rw.ComposeOps) > 0 {
 		return &foldSink{
-			e: e, rw: rw, n: n,
+			e: e, rw: rw, n: n, res: res,
 			tables:    map[attemptKey]*foldTable{},
 			winner:    make([]int64, n),
 			committed: make([]bool, n),
@@ -59,7 +63,7 @@ func (e *Engine) newComposeSink(rw *Rewrite, n int) composeSink {
 		prefix = "svpfold"
 	}
 	return &memdbSink{
-		e: e, rw: rw, n: n,
+		e: e, rw: rw, n: n, res: res,
 		ld:        e.mem.NewLoader(prefix, rw.PartialCols),
 		bufs:      map[attemptKey][]sqltypes.Row{},
 		winner:    make([]int64, n),
@@ -83,10 +87,11 @@ type attemptKey struct {
 // rebuilt from the retained winner buffers (rare: it takes a mid-stream
 // failure or a lost race at the frontier).
 type memdbSink struct {
-	e  *Engine
-	rw *Rewrite
-	n  int
-	ld *memdb.Loader
+	e   *Engine
+	rw  *Rewrite
+	n   int
+	ld  *memdb.Loader
+	res *admission.Reservation // memory-budget account for retained rows
 
 	// bufs retains every live attempt's rows: the frontier needs them to
 	// adopt a partition mid-stream, rebuilds need the winners.
@@ -98,6 +103,13 @@ type memdbSink struct {
 }
 
 func (s *memdbSink) observe(idx int, attempt int64, b *sqltypes.Batch) error {
+	// The sink retains every row it buffers (and the loader copies the
+	// frontier stream), so each arriving batch grows the query's memory
+	// reservation before it is kept.
+	if err := s.res.Grow(rowsBytes(b.Rows)); err != nil {
+		sqltypes.PutBatch(b)
+		return err
+	}
 	k := attemptKey{idx, attempt}
 	buf := append(s.bufs[k], b.Rows...)
 	s.bufs[k] = buf
@@ -203,9 +215,10 @@ func (s *memdbSink) rebuildPrefix(upto int) error {
 // materialized composer) and the composition query projects the folded
 // rows.
 type foldSink struct {
-	e  *Engine
-	rw *Rewrite
-	n  int
+	e   *Engine
+	rw  *Rewrite
+	n   int
+	res *admission.Reservation // memory-budget account for fold groups
 
 	tables    map[attemptKey]*foldTable
 	winner    []int64
@@ -222,11 +235,12 @@ type foldTable struct {
 func newFoldTable() *foldTable { return &foldTable{buckets: map[uint64][]*foldGrp{}} }
 
 // add folds one partial row into the table, merging aggregates on a
-// group-key hit.
-func (t *foldTable) add(rw *Rewrite, row sqltypes.Row) error {
+// group-key hit. It reports whether a new group was created (a merge
+// retains no extra memory; a creation clones the row).
+func (t *foldTable) add(rw *Rewrite, row sqltypes.Row) (bool, error) {
 	nG := rw.GroupCount
 	if len(row) != nG+len(rw.ComposeOps) {
-		return fmt.Errorf("partial row width %d, want %d", len(row), nG+len(rw.ComposeOps))
+		return false, fmt.Errorf("partial row width %d, want %d", len(row), nG+len(rw.ComposeOps))
 	}
 	key := row[:nG]
 	h := sqltypes.HashRow(key)
@@ -235,17 +249,17 @@ func (t *foldTable) add(rw *Rewrite, row sqltypes.Row) error {
 			for i, op := range rw.ComposeOps {
 				merged, err := foldValues(op, cand.row[nG+i], row[nG+i])
 				if err != nil {
-					return err
+					return false, err
 				}
 				cand.row[nG+i] = merged
 			}
-			return nil
+			return false, nil
 		}
 	}
 	g := &foldGrp{row: row.Clone()}
 	t.buckets[h] = append(t.buckets[h], g)
 	t.order = append(t.order, g)
-	return nil
+	return true, nil
 }
 
 func (s *foldSink) observe(idx int, attempt int64, b *sqltypes.Batch) error {
@@ -255,14 +269,21 @@ func (s *foldSink) observe(idx int, attempt int64, b *sqltypes.Batch) error {
 		t = newFoldTable()
 		s.tables[k] = t
 	}
+	// Only created groups retain memory (merges fold in place), so the
+	// reservation grows by the freshly cloned group rows per batch.
+	var created int64
 	for _, row := range b.Rows {
-		if err := t.add(s.rw, row); err != nil {
+		fresh, err := t.add(s.rw, row)
+		if err != nil {
 			sqltypes.PutBatch(b)
 			return err
 		}
+		if fresh {
+			created += 24 + int64(len(row))*40
+		}
 	}
 	sqltypes.PutBatch(b)
-	return nil
+	return s.res.Grow(created)
 }
 
 func (s *foldSink) commit(idx int, attempt int64) error {
@@ -290,7 +311,7 @@ func (s *foldSink) finish(ctx context.Context) (*engine.Result, error) {
 			continue // empty partition: no batches ever arrived
 		}
 		for _, g := range t.order {
-			if err := merged.add(s.rw, g.row); err != nil {
+			if _, err := merged.add(s.rw, g.row); err != nil {
 				return nil, err
 			}
 		}

@@ -30,6 +30,12 @@ type NodeProcessor struct {
 	// every sub-query (Options.Parallelism: 0 = node default/auto).
 	parallelism int
 
+	// capDegree, when set, is consulted per statement for a brownout cap
+	// on the intra-node degree (0 = uncapped). The engine wires it to the
+	// admission controller's ladder; pulling the value per statement is
+	// what makes degradation and restoration automatic.
+	capDegree func() int
+
 	// down simulates a node crash: every request fails with
 	// cluster.ErrBackendDown until Revive. Used by failure-injection
 	// tests and chaos runs.
@@ -111,6 +117,20 @@ func (p *NodeProcessor) acquire(ctx context.Context) (func(), error) {
 // Inflight reports the number of statements currently holding a pooled
 // connection (the hedging dispatcher's load signal).
 func (p *NodeProcessor) Inflight() int { return len(p.pool) }
+
+// effectiveParallelism resolves the intra-node degree for one statement:
+// the configured degree, lowered to the brownout cap when the admission
+// ladder has one in force. A cap of 1 turns sub-queries serial — the
+// ladder's first lever under saturation.
+func (p *NodeProcessor) effectiveParallelism() int {
+	par := p.parallelism
+	if p.capDegree != nil {
+		if c := p.capDegree(); c > 0 && (par == 0 || par > c) {
+			par = c
+		}
+	}
+	return par
+}
 
 // Kill simulates a node crash: subsequent requests report
 // cluster.ErrBackendDown.
@@ -200,7 +220,7 @@ func (p *NodeProcessor) QueryAt(ctx context.Context, stmt *sql.SelectStmt, snaps
 		return nil, err
 	}
 	defer release()
-	res, qerr := p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex, Parallelism: p.parallelism, Ctx: ctx})
+	res, qerr := p.node.QueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex, Parallelism: p.effectiveParallelism(), Ctx: ctx})
 	if after != nil {
 		qerr = after(qerr)
 	}
@@ -230,7 +250,7 @@ func (p *NodeProcessor) StreamAt(ctx context.Context, stmt *sql.SelectStmt, snap
 		return err
 	}
 	defer release()
-	cur, qerr := p.node.OpenQueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex, Parallelism: p.parallelism, Ctx: ctx})
+	cur, qerr := p.node.OpenQueryStmtAt(stmt, snapshot, engine.QueryOpts{ForceIndexScan: forceIndex, Parallelism: p.effectiveParallelism(), Ctx: ctx})
 	if qerr == nil {
 		for {
 			b := sqltypes.GetBatch()

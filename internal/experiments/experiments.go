@@ -11,6 +11,7 @@ import (
 	"io"
 	"time"
 
+	"apuama/internal/admission"
 	"apuama/internal/cache"
 	"apuama/internal/cluster"
 	"apuama/internal/core"
@@ -60,6 +61,9 @@ type Config struct {
 	// each node engine (0 = auto, 1 = serial — the paper configuration,
 	// whose nodes were single-core).
 	Parallelism int
+	// Admission configures overload protection (zero = off, the paper
+	// configuration); the overload experiment sets it.
+	Admission admission.Config
 }
 
 // Default returns the configuration used for the recorded runs in
@@ -141,6 +145,7 @@ func buildStack(n int, cfg Config) (*stack, error) {
 	opts.ForceIndexScan = !cfg.AllowSeqscan
 	opts.Cache = cfg.Cache
 	opts.Parallelism = cfg.Parallelism
+	opts.Admission = cfg.Admission
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{Cost: cfg.Cost})
 	return &stack{db: db, nodes: nodes, eng: eng, ctl: ctl}, nil
@@ -151,8 +156,11 @@ type Figure struct {
 	ID     string
 	Title  string
 	YLabel string
-	Nodes  []int
-	Series []string
+	// RowLabel names the row dimension; empty means "nodes" (the
+	// overload figure sweeps offered-load multiples instead).
+	RowLabel string
+	Nodes    []int
+	Series   []string
 	// Values[r][c] is the value at Nodes[r] for Series[c].
 	Values [][]float64
 	Notes  []string
@@ -169,7 +177,11 @@ func newFigure(id, title, ylabel string, nodes []int, series []string) *Figure {
 // Fprint renders the figure as an aligned table.
 func (f *Figure) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "%s — %s (%s)\n", f.ID, f.Title, f.YLabel)
-	fmt.Fprintf(w, "%8s", "nodes")
+	row := f.RowLabel
+	if row == "" {
+		row = "nodes"
+	}
+	fmt.Fprintf(w, "%8s", row)
 	for _, s := range f.Series {
 		fmt.Fprintf(w, " %12s", s)
 	}

@@ -162,3 +162,26 @@ func TestConfigs(t *testing.T) {
 		t.Errorf("experiment cost: %+v", c)
 	}
 }
+
+// TestOverloadExperiment smoke-runs the saturation study at test scale:
+// the figure must have the three load rows, the at-capacity row must
+// shed nothing, and overloaded rows must still have answered queries.
+func TestOverloadExperiment(t *testing.T) {
+	cfg := fastConfig()
+	fig, err := OverloadExperiment(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 3)
+	if fig.RowLabel != "xload" {
+		t.Errorf("row label: %q", fig.RowLabel)
+	}
+	for r, m := range fig.Nodes {
+		if fig.Values[r][0] <= 0 {
+			t.Errorf("x%d: no goodput", m)
+		}
+		if fig.Values[r][1] < 0 || fig.Values[r][1] > 100 {
+			t.Errorf("x%d: shed rate %v out of range", m, fig.Values[r][1])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Spike is a deterministic concurrency-spike plan: the client-side
+// counterpart of the node-side Injector. Where an Injector scripts what
+// one node does wrong, a Spike scripts what a stampede of clients does
+// at once — N clients arriving within a ramp window, each firing a run
+// of queries — so an overload chaos test offers the same load shape on
+// every run of a given seed.
+//
+// The plan is data, not goroutines: Plan() returns one entry per client
+// with its start offset and query count, and the test supplies the
+// execution. That keeps the randomness (seeded, jittered arrivals and
+// per-client query counts) apart from the scheduling, the same
+// determinism split the Injector makes.
+type Spike struct {
+	rng     *rand.Rand
+	clients int
+	ramp    time.Duration
+	queries int
+	jitter  int
+}
+
+// SpikeClient is one client's schedule within the spike.
+type SpikeClient struct {
+	ID      int
+	Start   time.Duration // offset from the spike's t0 at which to begin
+	Queries int           // how many back-to-back queries to fire
+}
+
+// NewSpike builds a spike plan generator for the given client count,
+// deterministic for the seed. Defaults: every client starts at t0 and
+// fires one query; shape it with Ramp and Queries.
+func NewSpike(seed int64, clients int) *Spike {
+	if clients < 1 {
+		clients = 1
+	}
+	return &Spike{rng: rand.New(rand.NewSource(seed)), clients: clients, queries: 1}
+}
+
+// Ramp spreads client arrivals uniformly (seeded) across the window,
+// instead of one instantaneous stampede.
+func (s *Spike) Ramp(window time.Duration) *Spike {
+	s.ramp = window
+	return s
+}
+
+// Queries sets each client's query count to n ± jitter (seeded,
+// uniform; floored at 1).
+func (s *Spike) Queries(n, jitter int) *Spike {
+	s.queries, s.jitter = n, jitter
+	return s
+}
+
+// Plan materializes the spike: one schedule entry per client, sorted by
+// arrival (client 0 first). Calling Plan again continues the seeded
+// stream — two plans from one Spike differ, two Spikes with one seed
+// agree.
+func (s *Spike) Plan() []SpikeClient {
+	out := make([]SpikeClient, s.clients)
+	for i := range out {
+		var start time.Duration
+		if s.ramp > 0 {
+			start = time.Duration(s.rng.Int63n(int64(s.ramp)))
+		}
+		q := s.queries
+		if s.jitter > 0 {
+			q += s.rng.Intn(2*s.jitter+1) - s.jitter
+		}
+		if q < 1 {
+			q = 1
+		}
+		out[i] = SpikeClient{Start: start, Queries: q}
+	}
+	// Insertion sort by start keeps the plan stable and dependency-free;
+	// IDs are positional in arrival order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}

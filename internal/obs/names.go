@@ -64,6 +64,16 @@ const (
 	MEngineMorselSteals    = "apuama_engine_morsel_steals_total"    // morsels stolen across worker shards
 	MEngineWorkerUtil      = "apuama_engine_worker_utilization_pct" // gauge: busy/(wall×degree) of the last fragment
 
+	// Overload protection (internal/admission).
+	MAdmissionAdmitted    = "apuama_admission_admitted_total"        // queries granted slots
+	MAdmissionQueued      = "apuama_admission_queued_total"          // queries that waited for a slot
+	MAdmissionShed        = "apuama_admission_shed_total"            // labeled {reason=queue-full|deadline|queue-timeout}
+	MAdmissionWait        = "apuama_admission_wait_seconds"          // queue wait before admission
+	MAdmissionBrownout    = "apuama_admission_brownout_level"        // gauge: degradation ladder level (0-3)
+	MAdmissionMemReserved = "apuama_admission_memory_reserved_bytes" // gauge: bytes reserved against the budget
+	MAdmissionMemAborts   = "apuama_admission_memory_aborts_total"   // reservations aborted at the budget
+	MAdmissionSlowKills   = "apuama_admission_slow_kills_total"      // queries cancelled by the slow-query killer
+
 	// Node processors.
 	MPoolWait     = "apuama_pool_wait_seconds"     // connection-pool admission wait, labeled {node=...}
 	MNodeInflight = "apuama_node_inflight"         // gauge, labeled {node=...}

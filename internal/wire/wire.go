@@ -12,7 +12,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"apuama/internal/admission"
 	"apuama/internal/cache"
 	"apuama/internal/engine"
 	"apuama/internal/sqltypes"
@@ -42,27 +44,68 @@ type Request struct {
 // Response carries the outcome: a result set for queries, an affected
 // count for writes, or an error message. When Chunked is set it is only
 // a header — Rows is empty and the rows follow as Chunk frames.
+//
+// ErrCode carries the structured class of a typed server error (the
+// admission wire codes: overload shed, memory-budget abort, slow-query
+// kill) and RetryAfterMs the shed back-off hint, so clients rebuild the
+// typed error and errors.Is works across the socket. Old peers ignore
+// both fields (gob drops unknown fields in either direction) and fall
+// back to the plain string error.
 type Response struct {
-	Cols     []string
-	Rows     []sqltypes.Row
-	Affected int64
-	Err      string
-	Chunked  bool
+	Cols         []string
+	Rows         []sqltypes.Row
+	Affected     int64
+	Err          string
+	ErrCode      string
+	RetryAfterMs int64
+	Chunked      bool
 }
 
 // Chunk is one row-batch frame of a chunked result. The trailer has
 // Last set (and no rows); a mid-stream failure arrives as a trailer
-// with Err set, after which the connection is still in sync.
+// with Err set (plus the structured ErrCode/RetryAfterMs of Response,
+// same compatibility rules), after which the connection is still in
+// sync.
 type Chunk struct {
-	Rows []sqltypes.Row
-	Last bool
-	Err  string
+	Rows         []sqltypes.Row
+	Last         bool
+	Err          string
+	ErrCode      string
+	RetryAfterMs int64
 }
 
 // DefaultChunkRows is how many rows the server packs per Chunk frame —
 // sized to the engine's batch granularity so a cursor client holds one
 // batch, not the whole result.
 const DefaultChunkRows = 256
+
+// encodeErr renders err for the wire: the verbatim message plus the
+// structured admission code and shed retry-after hint, rounded up to a
+// whole millisecond so a sub-millisecond hint is not truncated to "no
+// hint".
+func encodeErr(err error) (msg, code string, retryMs int64) {
+	msg = err.Error()
+	code, ra := admission.Code(err)
+	if ra > 0 {
+		if retryMs = int64(ra / time.Millisecond); retryMs == 0 {
+			retryMs = 1
+		}
+	}
+	return msg, code, retryMs
+}
+
+// decodeErr rebuilds a server error on the client: the typed admission
+// error when a structured code rode along (so errors.Is against
+// admission's sentinels holds across the socket), a plain string error
+// otherwise — including for codes this client does not know.
+func decodeErr(msg, code string, retryMs int64) error {
+	if code != "" {
+		if err := admission.Remote(code, msg, time.Duration(retryMs)*time.Millisecond); err != nil {
+			return err
+		}
+	}
+	return errors.New(msg)
+}
 
 // Handler is what the server serves: the public Cluster satisfies it.
 type Handler interface {
@@ -169,7 +212,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		case "query":
 			res, err := s.handleQuery(req)
 			if err != nil {
-				resp.Err = err.Error()
+				resp.Err, resp.ErrCode, resp.RetryAfterMs = encodeErr(err)
 			} else if req.Stream {
 				if err := sendChunked(enc, res); err != nil {
 					return
@@ -182,7 +225,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		case "exec":
 			n, err := s.handler.Exec(req.SQL)
 			if err != nil {
-				resp.Err = err.Error()
+				resp.Err, resp.ErrCode, resp.RetryAfterMs = encodeErr(err)
 			} else {
 				resp.Affected = n
 			}
@@ -247,7 +290,7 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, decodeErr(resp.Err, resp.ErrCode, resp.RetryAfterMs)
 	}
 	return &resp, nil
 }
@@ -310,7 +353,7 @@ func (c *Client) QueryStreamOpt(sqlText string, opt QueryOptions) (*RowReader, e
 	}
 	if resp.Err != "" {
 		c.mu.Unlock()
-		return nil, errors.New(resp.Err)
+		return nil, decodeErr(resp.Err, resp.ErrCode, resp.RetryAfterMs)
 	}
 	r := &RowReader{c: c, cols: resp.Cols}
 	if !resp.Chunked {
@@ -359,7 +402,7 @@ func (r *RowReader) Next() (sqltypes.Row, error) {
 		if ch.Err != "" {
 			r.done = true
 			r.c.mu.Unlock()
-			r.err = errors.New(ch.Err)
+			r.err = decodeErr(ch.Err, ch.ErrCode, ch.RetryAfterMs)
 			return nil, r.err
 		}
 		if ch.Last {
