@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet staticcheck race race-cpu fuzz-replay fuzz-smoke cover bench bench-micro bench-cache bench-overload bench-baseline bench-compare clean
+.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-overload bench-baseline bench-compare clean
 
 all: build test
 
@@ -31,6 +31,14 @@ race:
 race-cpu:
 	$(GO) test -race -cpu 1,2,4 ./internal/engine/
 
+# The fine-grained AVP acceptance suite again, by name and race-enabled:
+# the straggler chaos plan, the granularity×nodes×composer oracle sweep,
+# the 100× schedule-independence repeat harness, and the crash/cache
+# interaction regressions. Runs inside `make race` too; this target
+# keeps the gate visible if the suite is ever renamed or filtered.
+avp-suite:
+	$(GO) test -race -count=1 -run 'TestStragglerChaosFineVsCoarse|TestOracleGranularitySweep|TestOracleRepeatedRunsBitIdentical|TestPartialCacheStableAcrossNodeDeath|TestMidQueryCrashRequeuesOnce|TestFinePartsResolution' ./internal/core/
+
 # Replay the checked-in fuzz corpora (testdata/fuzz/) as plain tests:
 # every past crasher and interesting input must stay green.
 fuzz-replay:
@@ -38,8 +46,8 @@ fuzz-replay:
 
 # Tier-1 verification: static checks, the full suite under the race
 # detector (chaos/resilience tests included), the engine suite across
-# -cpu settings, and corpus replay.
-tier1: vet staticcheck race race-cpu fuzz-replay
+# -cpu settings, the named AVP acceptance suite, and corpus replay.
+tier1: vet staticcheck race race-cpu avp-suite fuzz-replay
 
 # Short live fuzzing of each target (30s apiece) — a smoke pass, not a
 # campaign; run the targets individually with -fuzztime for longer.
@@ -89,6 +97,13 @@ bench-compare:
 	else \
 		echo "benchstat not installed; skipping comparison (go install golang.org/x/perf/cmd/benchstat@latest)"; \
 	fi
+
+# Work-stealing straggler study: one of four nodes at 8x latency,
+# swept across -avp-granularity, recording baseline vs straggler
+# runtime, the slowdown ratio and the steal counts, as JSON for
+# plotting and CI diffing against the figure-suite snapshot.
+bench-avp:
+	$(GO) run ./cmd/apuama-bench -exp steal -quick -quiet -json bench-avp.json
 
 # Result-cache experiment: cold vs warm vs shared-concurrent latency,
 # written as JSON for plotting.

@@ -155,6 +155,14 @@ type Config struct {
 	// cluster-level SVP/AVP split). 0 = auto (min(GOMAXPROCS, 8), large
 	// relations only), 1 = serial.
 	Parallelism int
+	// AVPGranularity is the number of fine virtual partitions per
+	// configured node that the cluster-level work-stealing scheduler
+	// dispatches from its shared queue. 0 = auto (32 per node, floored
+	// so every partition spans at least 2048 keys), 1 = the legacy
+	// coarse one-range-per-node split. Ranges depend only on the
+	// configured node count, so partial-result cache keys stay stable
+	// when nodes die or rejoin.
+	AVPGranularity int
 	// GatherBudget bounds the in-flight partial-result batches buffered
 	// between each node's stream and the composer, per partition
 	// (backpressure on producers that outrun composition; default 8).
@@ -279,6 +287,7 @@ func Open(cfg Config) (*Cluster, error) {
 		opts.GatherBudget = cfg.GatherBudget
 	}
 	opts.Parallelism = cfg.Parallelism
+	opts.AVPGranularity = cfg.AVPGranularity
 	opts.QueryTimeout = cfg.QueryTimeout
 	opts.RetryLimit = cfg.RetryLimit
 	opts.RetryBackoff = cfg.RetryBackoff

@@ -1,12 +1,8 @@
 package core
 
 import (
-	"context"
-	"fmt"
-	"sync"
 	"time"
 
-	"apuama/internal/engine"
 	"apuama/internal/sql"
 )
 
@@ -20,9 +16,10 @@ import (
 // small queries increase concurrency and "induce a bad memory cache
 // use"; implementing both strategies lets the ablation benches test that
 // claim directly.
-type avpExecutor struct {
-	eng *Engine
-}
+// Both strategies now run through the fine-grained scheduler in
+// engine.go/scheduler.go: SVP keeps fixed-size partitions, AVP adds the
+// adaptive claim-run sizing below. avpState and chunkQuery are the
+// pieces the unified path reuses.
 
 // avpState tracks the adaptive sizing loop for one node.
 type avpState struct {
@@ -34,79 +31,59 @@ type avpState struct {
 // avpInitialFraction starts chunks at this fraction of the node's range.
 const avpInitialFraction = 64
 
-// runAVP executes the rewritten query with adaptive virtual
-// partitioning: the key domain is a shared work queue from which every
-// node pulls its next sub-range, sized adaptively per node. Pulling from
-// a global queue is AVP's dynamic load balancing — a node stuck in a
-// data-skew hotspot takes fewer keys while idle nodes absorb the rest —
-// at the cost of many more, smaller sub-queries than SVP issues.
-func (e *Engine) runAVP(ctx context.Context, procs []*NodeProcessor, rw *Rewrite, snapshot int64, lo, hi int64) (*engine.Result, error) {
-	n := len(procs)
-	var (
-		mu       sync.Mutex
-		next     = lo // next unclaimed key; guarded by mu
-		partials []*engine.Result
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	claim := func(size int64) (v1, v2 int64, ok bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next > hi || firstErr != nil {
-			return 0, 0, false
+// Fine-partition sizing (Options.AVPGranularity resolution).
+const (
+	// defaultAVPFanout is the auto partitions-per-node target.
+	defaultAVPFanout = 32
+	// avpMinPartKeys floors the auto-sized partition width in keys: the
+	// auto heuristic never cuts the domain finer than this, so small
+	// (test-sized) domains keep the classic coarse split.
+	avpMinPartKeys = 2048
+	// maxClaimRun caps how many adjacent home partitions one AVP claim
+	// run may take back-to-back, whatever the adaptive size says.
+	maxClaimRun = 64
+)
+
+// fineParts resolves the number of fine virtual partitions for a query
+// over a key domain of span keys. It depends only on the CONFIGURED
+// node count (len(e.procs)), never on liveness, so the VPA ranges — and
+// with them the partial-result cache keys — are stable while nodes
+// crash and rejoin.
+func (e *Engine) fineParts(span int64) int {
+	n := len(e.procs)
+	if n < 1 {
+		n = 1
+	}
+	if span < 1 {
+		span = 1
+	}
+	g := e.opts.AVPGranularity
+	var m int64
+	switch {
+	case g == 1:
+		return n
+	case g > 1:
+		m = int64(g) * int64(n)
+	case e.opts.Strategy == AVP:
+		m = int64(defaultAVPFanout) * int64(n)
+	default:
+		// Auto SVP: fine-grained only when every partition still spans
+		// avpMinPartKeys keys and each node gets at least two.
+		m = int64(defaultAVPFanout) * int64(n)
+		if byKeys := span / avpMinPartKeys; byKeys < m {
+			m = byKeys
 		}
-		v1 = next
-		v2 = min64(v1+size, hi+1)
-		next = v2
-		return v1, v2, true
+		if n == 1 || m < int64(2*n) {
+			return n
+		}
 	}
-	cfg := e.net.Config()
-	subQueries := 0
-	initial := max64((hi-lo+1)/(int64(n)*avpInitialFraction), 1)
-	for _, p := range procs {
-		wg.Add(1)
-		go func(p *NodeProcessor) {
-			defer wg.Done()
-			st := avpState{size: initial}
-			for {
-				v1, v2, ok := claim(st.size)
-				if !ok {
-					return
-				}
-				sub := rw.chunkQuery(v1, v2)
-				p.Node().Meter().Charge(cfg.NetMessage)
-				start := time.Now()
-				res, err := p.QueryAt(ctx, sub, snapshot, e.opts.ForceIndexScan)
-				e.m.subqueryDur.Observe(time.Since(start))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				mu.Lock()
-				partials = append(partials, res)
-				subQueries++
-				mu.Unlock()
-				st.adapt(v2-v1, time.Since(start))
-			}
-		}(p)
+	if m > span {
+		m = span
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, fmt.Errorf("avp sub-query failed: %w", firstErr)
+	if m < int64(n) {
+		m = int64(n)
 	}
-	var rows int64
-	for _, pr := range partials {
-		rows += int64(len(pr.Rows))
-	}
-	e.net.Charge(time.Duration(rows) * cfg.NetPerRow)
-	e.net.Flush()
-	e.st.subQueries.Add(int64(subQueries))
-	e.st.composedRows.Add(rows)
-	return e.compose(ctx, rw, partials)
+	return int(m)
 }
 
 // adapt implements the AVP sizing rule: double the chunk while the

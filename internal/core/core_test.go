@@ -457,8 +457,13 @@ func TestDisableSVPBaseline(t *testing.T) {
 
 func TestSVPTouchesOnlyPartitionPages(t *testing.T) {
 	// The physical heart of the paper: with SVP, each node's index range
-	// scan touches roughly 1/n of the fact-table pages.
-	s := buildStack(t, 4, DefaultOptions())
+	// scan touches roughly 1/n of the fact-table pages. Hedging off: on
+	// a loaded host a >10ms goroutine stall would let the endgame hedge
+	// duplicate a partition onto a second node, which is resilience
+	// behaviour, not the IO locality under test here.
+	opts := DefaultOptions()
+	opts.DisableHedging = true
+	s := buildStack(t, 4, opts)
 	li, err := s.db.Relation("lineitem")
 	if err != nil {
 		t.Fatal(err)

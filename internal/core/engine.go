@@ -106,6 +106,16 @@ type Options struct {
 	// DisableHedging turns speculative re-dispatch off.
 	DisableHedging bool
 
+	// AVPGranularity is the fine-partition fan-out: virtual partitions
+	// per configured node, dispatched from one cluster-level queue that
+	// every node pulls from (fast nodes drain it and steal from
+	// stragglers). 1 pins the classic coarse one-range-per-node split;
+	// 0 (auto) targets 32 partitions per node but never cuts a range
+	// under avpMinPartKeys keys, so small domains keep the coarse
+	// layout. Ranges depend only on the configured node count, never on
+	// liveness, keeping partial-cache keys stable across degree changes.
+	AVPGranularity int
+
 	// Parallelism is the intra-node morsel-driven degree each node engine
 	// applies to the parallel-safe fragment of its sub-query (the second
 	// level of parallelism, under the cluster-level SVP/AVP split):
@@ -208,6 +218,9 @@ type Stats struct {
 	StreamedBatches      int64 // partial batches streamed into the composer
 	StreamedRows         int64 // partial rows streamed into the composer
 	LimitShortCircuits   int64 // gathers stopped early by a settled pushed-down LIMIT
+	AVPPartitions        int64 // fine virtual partitions dispatched (cache-warm ones excluded)
+	AVPSteals            int64 // partitions claimed outside the claiming node's home block
+	AVPRequeues          int64 // partitions put back on the queue after a node failure
 	CacheHits            int64 // queries served from the versioned result cache
 	CacheMisses          int64 // cache lookups that executed for real
 	CacheStaleHits       int64 // cache hits served from behind the head epoch
@@ -547,18 +560,6 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	e.st.barrierWait.Add(int64(barWait))
 	e.m.barrierWait.Observe(barWait)
 
-	if e.opts.Strategy == AVP {
-		// AVP dispatches its first chunk per node immediately; updates
-		// unblock as soon as the first wave is out (same contract as
-		// SVP: the snapshot is already pinned).
-		if barrier {
-			defer e.gate.unblock()
-		}
-		e.st.svpQueries.Inc()
-		res, err := e.runAVP(ctx, procs, rw, snapshot, lo, hi)
-		return res, snapshot, err
-	}
-
 	// workCtx cancels every in-flight sub-query stream the moment the
 	// gather ends — error, deadline, or a settled LIMIT. Without it,
 	// workers could block forever sending into a full gather channel
@@ -566,13 +567,28 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	workCtx, cancelWork := context.WithCancel(ctx)
 	defer cancelWork()
 
-	// Each worker owns one partition and streams its rows batch-by-batch
-	// into the gather channel, ending each attempt with a fin message; it
-	// retries transient errors in place and fails over a dead node's
-	// partition to the next untried live node internally (announcing the
-	// abandoned attempt so the sink can drop its rows). Hedges add at
-	// most one extra worker per partition. The channel bound is the
-	// backpressure budget: producers ahead of the composer block here.
+	// Fine-grained virtual partitions: the key domain is cut into nParts
+	// small ranges computed from the CONFIGURED node count — never from
+	// liveness — so partial-cache keys stay stable across degree changes.
+	// The ranges queue on one cluster-level scheduler that every live
+	// node pulls from: a worker claims its next partition when it
+	// finishes the last, so fast nodes drain the queue and naturally
+	// steal work from stragglers (locality-preferring: home ranges
+	// first). Each claimed partition streams its rows batch-by-batch into
+	// the gather channel, ending each attempt with a fin message; workers
+	// retry transient errors in place and requeue a dead node's
+	// partitions for the survivors (announcing the abandoned attempt so
+	// the sink can drop its rows). The gather adds at most one in-flight
+	// hedge as an endgame fallback. The channel bound is the backpressure
+	// budget: producers ahead of the composer block here.
+	keySpan := hi - lo + 1
+	nParts := e.fineParts(keySpan)
+	ranges := make([][2]int64, nParts)
+	for i := range ranges {
+		v1, v2 := Partition(lo, hi, nParts, i)
+		ranges[i] = [2]int64{v1, v2}
+	}
+
 	msgs := make(chan gatherMsg, e.opts.GatherBudget*n)
 	var attemptSeq atomic.Int64
 	cfg := e.net.Config()
@@ -587,77 +603,10 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 			return false
 		}
 	}
-	dispatch := func(p *NodeProcessor, idx int, sub *sql.SelectStmt, hedge bool) {
-		go func() {
-			tried := map[*NodeProcessor]bool{p: true}
-			backoff := e.opts.RetryBackoff
-			retries := 0
-			try := 0
-			for {
-				// Dispatch messages travel in parallel; charge each
-				// node's own meter with the middleware->node round trip.
-				try++
-				attempt := attemptSeq.Add(1)
-				sq := qspan.Child("subquery")
-				sq.Annotate("partition", strconv.Itoa(idx))
-				sq.Annotate("node", strconv.Itoa(p.Node().ID()))
-				sq.Annotate("attempt", strconv.Itoa(try))
-				if hedge {
-					sq.Annotate("hedged", "true")
-				}
-				p.Node().Meter().Charge(cfg.NetMessage)
-				t0 := time.Now()
-				qerr := p.StreamAt(workCtx, sub, snapshot, e.opts.ForceIndexScan, func(b *sqltypes.Batch) error {
-					if !send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, batch: b}) {
-						return workCtx.Err()
-					}
-					return nil
-				})
-				e.m.subqueryDur.Observe(time.Since(t0))
-				if qerr != nil {
-					sq.Annotate("error", qerr.Error())
-				}
-				sq.End()
-				if qerr == nil {
-					send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true})
-					return
-				}
-				if errors.Is(qerr, cluster.ErrTransient) && retries < e.opts.RetryLimit {
-					retries++
-					e.st.backoffRetries.Inc()
-					if !send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: qerr, retry: true}) {
-						return
-					}
-					if sleepCtx(workCtx, backoff) != nil {
-						send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: workCtx.Err()})
-						return
-					}
-					backoff = capDur(backoff*2, maxRetryBackoff)
-					continue
-				}
-				if errors.Is(qerr, cluster.ErrBackendDown) || errors.Is(qerr, cluster.ErrTransient) {
-					if alt := e.pickLiveUntried(tried); alt != nil {
-						tried[alt] = true
-						p = alt
-						retries = 0
-						backoff = e.opts.RetryBackoff
-						e.st.subQueries.Inc()
-						e.st.subQueryRetries.Inc()
-						if !send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: qerr, retry: true}) {
-							return
-						}
-						continue
-					}
-					qerr = fmt.Errorf("no live node left for partition %d: %w", idx, qerr)
-				}
-				send(gatherMsg{idx: idx, attempt: attempt, hedge: hedge, fin: true, err: qerr})
-				return
-			}
-		}()
-	}
-	// Partition-level partial cache: before dispatching, probe each
-	// partition's (sub-query fingerprint, VPA range, snapshot) key. A
-	// warm partition skips dispatch entirely and feeds the composer as a
+
+	// Partition-level partial cache: probe each partition's (sub-query
+	// fingerprint, VPA range, snapshot) key before workers start. A warm
+	// partition never enters the queue and feeds the composer as a
 	// synthetic attempt below; only the missing ranges go to the nodes.
 	// Exact-snapshot matches only — composing partitions captured at
 	// different epochs would yield a result valid at no single snapshot.
@@ -666,61 +615,205 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	if usePartial {
 		partialFP = sql.FingerprintStmt(rw.Partial)
 	}
-	dispSpan := qspan.Child("dispatch")
-	dispStart := time.Now()
-	subs := make([]*sql.SelectStmt, n)
-	ranges := make([][2]int64, n)
-	cachedRows := make([][]sqltypes.Row, n)
-	cachedParts := make([]bool, n)
-	dispatched := 0
-	for i, p := range procs {
-		v1, v2 := Partition(lo, hi, n, i)
-		ranges[i] = [2]int64{v1, v2}
-		if usePartial {
-			if rows, ok := e.cache.LookupPartial(partialFP, v1, v2, snapshot); ok {
+	sch := newFineScheduler(ranges, n)
+	cachedRows := make([][]sqltypes.Row, nParts)
+	cachedParts := make([]bool, nParts)
+	cached := 0
+	if usePartial {
+		for i := range ranges {
+			if rows, ok := e.cache.LookupPartial(partialFP, ranges[i][0], ranges[i][1], snapshot); ok {
 				cachedRows[i], cachedParts[i] = rows, true
 				e.st.cachePartialHits.Inc()
+				sch.markDone(i)
+				cached++
 				continue
 			}
 			e.st.cachePartialMisses.Inc()
 		}
-		subs[i] = rw.SubQuery(i, n, lo, hi)
-		dispatch(p, i, subs[i], false)
-		dispatched++
+	}
+
+	// alive mirrors procs by worker slot; the scheduler nils a slot when
+	// its worker retires (all access under the scheduler's lock).
+	alive := make([]*NodeProcessor, n)
+	copy(alive, procs)
+
+	// runOne executes one claimed partition on p: stream, transient
+	// retries in place, then requeue for the surviving workers. A non-nil
+	// downErr means p itself is gone and its worker must retire.
+	runOne := func(p *NodeProcessor, idx int, stolen bool) (keys int64, downErr error) {
+		sub := rw.chunkQuery(ranges[idx][0], ranges[idx][1])
+		backoff := e.opts.RetryBackoff
+		retries := 0
+		try := 0
+		for {
+			try++
+			attempt := attemptSeq.Add(1)
+			if try == 1 {
+				e.st.subQueries.Inc()
+				p.countClaim()
+			}
+			sq := qspan.Child("subquery")
+			sq.Annotate("partition", strconv.Itoa(idx))
+			sq.Annotate("node", strconv.Itoa(p.Node().ID()))
+			sq.Annotate("attempt", strconv.Itoa(try))
+			if stolen {
+				sq.Annotate("stolen", "true")
+			}
+			p.Node().Meter().Charge(cfg.NetMessage)
+			t0 := time.Now()
+			qerr := p.StreamAt(workCtx, sub, snapshot, e.opts.ForceIndexScan, func(b *sqltypes.Batch) error {
+				if !send(gatherMsg{idx: idx, attempt: attempt, batch: b}) {
+					return workCtx.Err()
+				}
+				return nil
+			})
+			dur := time.Since(t0)
+			e.m.subqueryDur.Observe(dur)
+			if qerr != nil {
+				sq.Annotate("error", qerr.Error())
+			}
+			sq.End()
+			if qerr == nil {
+				sch.complete(idx)
+				send(gatherMsg{idx: idx, attempt: attempt, fin: true, dur: dur})
+				return ranges[idx][1] - ranges[idx][0], nil
+			}
+			if errors.Is(qerr, cluster.ErrTransient) && retries < e.opts.RetryLimit {
+				retries++
+				e.st.backoffRetries.Inc()
+				if !send(gatherMsg{idx: idx, attempt: attempt, fin: true, err: qerr, retry: true}) {
+					return 0, nil
+				}
+				if sleepCtx(workCtx, backoff) != nil {
+					return 0, nil
+				}
+				backoff = capDur(backoff*2, maxRetryBackoff)
+				continue
+			}
+			if down := errors.Is(qerr, cluster.ErrBackendDown); down || errors.Is(qerr, cluster.ErrTransient) {
+				// Fail the partition over: back on the queue for whichever
+				// untried live worker claims it next. When none is left the
+				// scheduler fails the whole query with this cause.
+				if sch.requeue(idx, p, qerr, alive) {
+					e.st.subQueryRetries.Inc()
+					e.st.avpRequeues.Inc()
+				}
+				send(gatherMsg{idx: idx, attempt: attempt, fin: true, err: qerr, retry: true})
+				if down {
+					return 0, qerr
+				}
+				return 0, nil
+			}
+			// Permanent (semantic) failure: no node can answer this.
+			send(gatherMsg{idx: idx, attempt: attempt, fin: true, err: qerr})
+			return 0, nil
+		}
+	}
+	// worker is node p's claim loop: home partitions first (adjacent key
+	// ranges, in index order), then steal from the most-loaded block. AVP
+	// reuses the adaptive chunk sizing as a claim-run length — a run of
+	// adjacent home partitions executes back-to-back and the observed
+	// keys/second rate resizes the next run.
+	partWidth := (keySpan + int64(nParts) - 1) / int64(nParts)
+	worker := func(w int, p *NodeProcessor, first int) {
+		var ast *avpState
+		if e.opts.Strategy == AVP {
+			ast = &avpState{size: max64(keySpan/(int64(n)*avpInitialFraction), 1)}
+		}
+		runClaims := func(idxs []int, stolen bool) bool {
+			runStart := time.Now()
+			var keys int64
+			for k, idx := range idxs {
+				if workCtx.Err() != nil {
+					return false
+				}
+				kk, downErr := runOne(p, idx, stolen)
+				keys += kk
+				if downErr != nil {
+					for _, rest := range idxs[k+1:] {
+						sch.requeue(rest, p, downErr, alive)
+					}
+					return false
+				}
+			}
+			if ast != nil && keys > 0 {
+				ast.adapt(keys, time.Since(runStart))
+			}
+			return true
+		}
+		if first >= 0 && !runClaims([]int{first}, false) {
+			sch.workerGone(w, alive)
+			return
+		}
+		for {
+			maxRun := 1
+			if ast != nil {
+				maxRun = int(max64(ast.size/max64(partWidth, 1), 1))
+				if maxRun > maxClaimRun {
+					maxRun = maxClaimRun
+				}
+			}
+			idxs, stolen, err := sch.next(workCtx, w, p, maxRun)
+			if err != nil || len(idxs) == 0 {
+				break
+			}
+			if stolen {
+				e.st.avpSteals.Inc()
+			}
+			if !runClaims(idxs, stolen) {
+				break
+			}
+		}
+		sch.workerGone(w, alive)
+	}
+
+	dispSpan := qspan.Child("dispatch")
+	dispSpan.Annotate("partitions", strconv.Itoa(nParts))
+	dispStart := time.Now()
+	// Every live node preclaims its first home partition before any claim
+	// loop runs: each node is guaranteed its share of the fan-out however
+	// the goroutines interleave.
+	firsts := make([]int, n)
+	for w := range procs {
+		firsts[w] = -1
+		if idx, ok := sch.preclaim(w, procs[w]); ok {
+			firsts[w] = idx
+		}
+	}
+	for w, p := range procs {
+		go worker(w, p, firsts[w])
 	}
 	// "When all sub-queries are sent and started by the DBMSs, update
 	// transactions are unblocked."
 	if barrier {
 		e.gate.unblock()
 	}
-	if dispatched < n {
-		dispSpan.Annotate("cached_partitions", strconv.Itoa(n-dispatched))
+	if cached > 0 {
+		dispSpan.Annotate("cached_partitions", strconv.Itoa(cached))
 	}
 	dispSpan.End()
 	e.m.dispatch.Observe(time.Since(dispStart))
 	e.st.svpQueries.Inc()
-	e.st.subQueries.Add(int64(dispatched))
+	e.st.avpPartitions.Add(int64(nParts - cached))
 
-	// Gather with straggler hedging: once a majority of partitions has
-	// answered, pending partitions past HedgeMultiplier × the median
-	// completion time are speculatively re-dispatched on the least-loaded
-	// live node; the first finished attempt per partition wins.
-	// Batches feed the composer sink as they arrive, but commits happen
-	// in partition order inside the sink: floating-point aggregates are
-	// not associative, so arrival-order composition would make the
-	// answer depend on which replica was slow or hedged.
-	sink := e.newComposeSink(rw, n, resv)
+	// Gather with endgame hedging: batches feed the composer sink as they
+	// arrive, but commits happen in partition order inside the sink —
+	// floating-point aggregates are not associative, so arrival-order
+	// composition would make the answer depend on which node ran which
+	// partition. That partition-index merge rule is what keeps results
+	// bit-identical across schedules, steals and hedges. Once at least
+	// one partition has answered, the single oldest in-flight attempt
+	// past HedgeMultiplier × the median completion time is speculatively
+	// duplicated on the least-loaded other live node; with fine
+	// partitions stealing does the load balancing, so one hedge at a time
+	// only covers a node that stalls mid-partition.
+	sink := e.newComposeSink(rw, nParts, resv)
 	var totalRows int64
-	var firstErr error
-	done := make([]bool, n)
-	doneRows := make([]int64, n)
-	hedged := make([]bool, n)
-	inflight := make([]int, n)
-	for i := range inflight {
-		if !cachedParts[i] {
-			inflight[i] = 1
-		}
-	}
+	var firstErr, pendingErr, schedErr error
+	done := make([]bool, nParts)
+	doneRows := make([]int64, nParts)
+	hedged := make([]bool, nParts)
+	hedgeFor := -1
 	rowsByAttempt := map[int64]int64{}
 	var completions []time.Duration
 	completed := 0
@@ -746,9 +839,55 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 		}
 	}
 	defer stopHedge()
-	// Exit as soon as every partition has an answer: a hedge win must not
-	// wait for the straggling twin, whose remaining sends are released by
-	// the deferred cancelWork.
+	// armHedge points the single hedge timer at the oldest attempt still
+	// in flight, skipping partitions the gather has already settled.
+	armHedge := func() {
+		if e.opts.DisableHedging || e.adm.HedgingDisabled() || hedgeTimer != nil || hedgeFor >= 0 {
+			return
+		}
+		if len(completions) == 0 || completed >= nParts {
+			return
+		}
+		_, _, began, ok := sch.oldestRunning(func(i int) bool { return done[i] })
+		if !ok {
+			return
+		}
+		th := hedgeThreshold(completions, e.opts.HedgeMultiplier)
+		hedgeTimer = time.NewTimer(time.Until(began.Add(th)))
+		hedgeC = hedgeTimer.C
+	}
+	// hedge duplicates one partition's attempt on another node — a single
+	// shot, no retries: the original attempt is still running, and the
+	// first answer per partition wins (safe because every attempt reads
+	// the same pinned MVCC snapshot).
+	hedge := func(p *NodeProcessor, idx int) {
+		sub := rw.chunkQuery(ranges[idx][0], ranges[idx][1])
+		go func() {
+			attempt := attemptSeq.Add(1)
+			sq := qspan.Child("subquery")
+			sq.Annotate("partition", strconv.Itoa(idx))
+			sq.Annotate("node", strconv.Itoa(p.Node().ID()))
+			sq.Annotate("hedged", "true")
+			p.Node().Meter().Charge(cfg.NetMessage)
+			t0 := time.Now()
+			qerr := p.StreamAt(workCtx, sub, snapshot, e.opts.ForceIndexScan, func(b *sqltypes.Batch) error {
+				if !send(gatherMsg{idx: idx, attempt: attempt, hedge: true, batch: b}) {
+					return workCtx.Err()
+				}
+				return nil
+			})
+			dur := time.Since(t0)
+			e.m.subqueryDur.Observe(dur)
+			if qerr != nil {
+				sq.Annotate("error", qerr.Error())
+				sq.End()
+				send(gatherMsg{idx: idx, attempt: attempt, hedge: true, fin: true, err: qerr})
+				return
+			}
+			sq.End()
+			send(gatherMsg{idx: idx, attempt: attempt, hedge: true, fin: true, dur: dur})
+		}()
+	}
 	sinkErr := func(err error) error {
 		return fmt.Errorf("composer: %w", err)
 	}
@@ -773,7 +912,7 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 		totalRows += doneRows[i]
 		completed++
 	}
-	if earlyStop && completed < n && prefixHolds(done, doneRows, rw.PushedLimit) {
+	if earlyStop && completed < nParts && prefixHolds(done, doneRows, rw.PushedLimit) {
 		settled = true
 		e.st.limitShortCircuits.Inc()
 		cancelWork()
@@ -785,8 +924,9 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	if usePartial {
 		keepRows = map[int64][]sqltypes.Row{}
 	}
+	schedFailed := sch.failedC()
 gather:
-	for outstanding := dispatched; !settled && completed < n && outstanding > 0; {
+	for !settled && completed < nParts {
 		select {
 		case m := <-msgs:
 			switch {
@@ -813,33 +953,48 @@ gather:
 					return nil, 0, sinkErr(err)
 				}
 			case m.retry:
-				// The worker abandoned this attempt and is retrying or
-				// failing over: drop its rows, no completion accounting.
+				// The worker abandoned this attempt; the partition is back
+				// on the queue (or the schedule failed — see schedFailed).
 				if err := sink.abort(m.idx, m.attempt); err != nil {
 					return nil, 0, sinkErr(err)
 				}
 				delete(rowsByAttempt, m.attempt)
 				delete(keepRows, m.attempt)
 			case m.err != nil:
-				outstanding--
-				inflight[m.idx]--
 				if err := sink.abort(m.idx, m.attempt); err != nil {
 					return nil, 0, sinkErr(err)
 				}
 				delete(rowsByAttempt, m.attempt)
 				delete(keepRows, m.attempt)
+				if m.hedge {
+					// The speculative twin failed; the original attempt may
+					// yet answer — unless it already failed too.
+					if hedgeFor == m.idx {
+						hedgeFor = -1
+					}
+					if !done[m.idx] && pendingErr != nil {
+						firstErr = pendingErr
+						break gather
+					}
+					if schedErr != nil {
+						firstErr = schedErr
+						break gather
+					}
+					armHedge()
+					continue
+				}
 				if done[m.idx] {
 					continue
 				}
-				if inflight[m.idx] > 0 {
-					continue // a twin attempt is still running
+				if hedgeFor == m.idx {
+					// The original failed permanently but its hedge is still
+					// in flight: hold judgement until the hedge resolves.
+					pendingErr = m.err
+					continue
 				}
-				if firstErr == nil {
-					firstErr = m.err
-				}
+				firstErr = m.err
+				break gather
 			default: // fin: the attempt completed
-				outstanding--
-				inflight[m.idx]--
 				if done[m.idx] {
 					// A duplicate answer for a hedged partition: the
 					// earlier arrival already won this race.
@@ -858,8 +1013,19 @@ gather:
 						e.st.hedgesLost.Inc()
 					}
 				}
+				if hedgeFor == m.idx {
+					hedgeFor = -1
+					pendingErr = nil
+				}
+				if m.hedge {
+					// Tell the scheduler, so the losing worker's eventual
+					// completion is a no-op and requeues stop targeting it.
+					sch.forceDone(m.idx)
+				}
 				completed++
-				completions = append(completions, time.Since(start))
+				if m.dur > 0 {
+					completions = append(completions, m.dur)
+				}
 				doneRows[m.idx] = rowsByAttempt[m.attempt]
 				totalRows += doneRows[m.idx]
 				delete(rowsByAttempt, m.attempt)
@@ -876,30 +1042,52 @@ gather:
 					cancelWork()
 					break gather
 				}
-				if !e.opts.DisableHedging && !e.adm.HedgingDisabled() && hedgeTimer == nil && completed >= (n+1)/2 && completed < n {
-					threshold := hedgeThreshold(completions, e.opts.HedgeMultiplier)
-					hedgeTimer = time.NewTimer(time.Until(start.Add(threshold)))
-					hedgeC = hedgeTimer.C
+				if schedErr != nil && hedgeFor < 0 && completed < nParts {
+					// The hedge settled its partition, but the schedule had
+					// already failed elsewhere.
+					firstErr = schedErr
+					break gather
 				}
+				armHedge()
 			}
 		case <-hedgeC:
 			hedgeTimer = nil
 			hedgeC = nil
-			for i := 0; i < n; i++ {
-				if done[i] || hedged[i] {
-					continue
-				}
-				alt := e.pickLeastLoadedExcept(procs[i])
-				if alt == nil {
-					continue
-				}
-				hedged[i] = true
-				inflight[i]++
-				outstanding++
-				e.st.hedges.Inc()
-				e.st.subQueries.Inc()
-				dispatch(alt, i, subs[i], true)
+			if hedgeFor >= 0 || len(completions) == 0 {
+				continue
 			}
+			idx, runner, began, ok := sch.oldestRunning(func(i int) bool { return done[i] })
+			if !ok {
+				continue
+			}
+			th := hedgeThreshold(completions, e.opts.HedgeMultiplier)
+			if time.Since(began) < th {
+				// The oldest in-flight attempt changed since the timer was
+				// set; re-aim at the new one.
+				hedgeTimer = time.NewTimer(time.Until(began.Add(th)))
+				hedgeC = hedgeTimer.C
+				continue
+			}
+			alt := e.pickLeastLoadedExcept(runner)
+			if alt == nil {
+				continue
+			}
+			hedged[idx] = true
+			hedgeFor = idx
+			e.st.hedges.Inc()
+			e.st.subQueries.Inc()
+			hedge(alt, idx)
+		case <-schedFailed:
+			// No live untried node is left for some partition (or every
+			// worker retired with work pending): the query cannot finish.
+			schedFailed = nil
+			schedErr = sch.Err()
+			if hedgeFor < 0 {
+				firstErr = schedErr
+				break gather
+			}
+			// A hedge is still racing for a stuck partition; it may yet
+			// settle the query on its own.
 		case <-ctx.Done():
 			// Abandon the gather: the deferred cancelWork releases the
 			// workers' pending sends.
@@ -907,7 +1095,13 @@ gather:
 			return nil, 0, fmt.Errorf("query abandoned at deadline: %w", ctx.Err())
 		}
 	}
-	if !settled && completed < n {
+	if !settled && completed < nParts {
+		if firstErr == nil {
+			firstErr = pendingErr
+		}
+		if firstErr == nil {
+			firstErr = schedErr
+		}
 		if firstErr == nil {
 			firstErr = ctx.Err()
 		}
@@ -1080,27 +1274,6 @@ func capDur(d, max time.Duration) time.Duration {
 		return max
 	}
 	return d
-}
-
-// pickLiveUntried returns a live node not yet tried for this partition,
-// or nil when every live node has been exhausted.
-func (e *Engine) pickLiveUntried(tried map[*NodeProcessor]bool) *NodeProcessor {
-	for _, p := range e.procs {
-		if !tried[p] && !p.Down() {
-			return p
-		}
-	}
-	return nil
-}
-
-// pickLiveExcept returns a live node other than the failed one.
-func (e *Engine) pickLiveExcept(failed *NodeProcessor) *NodeProcessor {
-	for _, p := range e.procs {
-		if p != failed && !p.Down() {
-			return p
-		}
-	}
-	return nil
 }
 
 // pickLeastLoadedExcept returns the live node (other than the excluded

@@ -18,9 +18,11 @@ func TestSVPDegradesWhenNodeDies(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertSameResult(t, "degraded Q6", got, want, false)
+	// Partitioning stays keyed to the 4 CONFIGURED nodes (stable cache
+	// keys), so the 3 survivors claim 4 fine partitions between them.
 	st := s.eng.Snapshot()
-	if st.SubQueries != 3 {
-		t.Errorf("expected 3 sub-queries on survivors, got %d", st.SubQueries)
+	if st.SubQueries != 4 {
+		t.Errorf("expected 4 sub-queries on survivors, got %d", st.SubQueries)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"apuama/internal/admission"
 	"apuama/internal/engine"
@@ -22,7 +23,8 @@ type gatherMsg struct {
 	batch   *sqltypes.Batch // partial rows; ownership transfers to the receiver
 	fin     bool            // attempt ended (success when err == nil)
 	err     error
-	retry   bool // with fin+err: the worker is retrying, not giving up
+	retry   bool          // with fin+err: the worker is retrying, not giving up
+	dur     time.Duration // with a successful fin: the attempt's stream time
 }
 
 // composeSink consumes partial batches incrementally as the gather loop

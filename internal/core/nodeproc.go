@@ -55,9 +55,11 @@ type NodeProcessor struct {
 	excluded atomic.Bool
 
 	// Per-node observability handles (nil when no registry is wired):
-	// queueing delay at the connection pool and current pool occupancy.
+	// queueing delay at the connection pool, current pool occupancy, and
+	// fine-partition claims taken by this node's scheduler worker.
 	poolWait *obs.Histogram
 	inflight *obs.Gauge
+	claims   *obs.Counter
 }
 
 // NewNodeProcessor wraps a node with a connection pool of the given size.
@@ -81,8 +83,13 @@ func (p *NodeProcessor) setObs(reg *obs.Registry) {
 	id := strconv.Itoa(p.node.ID())
 	p.poolWait = reg.Histogram(obs.Labeled(obs.MPoolWait, "node", id))
 	p.inflight = reg.Gauge(obs.Labeled(obs.MNodeInflight, "node", id))
+	p.claims = reg.Counter(obs.Labeled(obs.MAVPNodeParts, "node", id))
 	p.node.SetObs(reg)
 }
+
+// countClaim records one fine-partition claim executed by this node
+// (obs.Counter is nil-safe, so an unwired processor is a no-op).
+func (p *NodeProcessor) countClaim() { p.claims.Inc() }
 
 // InjectFaults attaches a fault injector; nil detaches.
 func (p *NodeProcessor) InjectFaults(inj *fault.Injector) { p.faults.Store(inj) }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"apuama/internal/engine"
+	"apuama/internal/fault"
 	"apuama/internal/sqltypes"
 	"apuama/internal/tpch"
 )
@@ -124,6 +126,92 @@ func TestOracleSVPEquivalence(t *testing.T) {
 				t.Errorf("n=%d composer=%s: %d SVP queries, want %d (fallbacks: %v)",
 					n, composer, st.SVPQueries, len(tpch.QueryNumbers), st.FallbackReasons)
 			}
+		}
+	}
+}
+
+// TestOracleGranularitySweep extends the oracle across the fine-grained
+// scheduler's configuration space: granularity ∈ {1, 4, 32, 64} ×
+// nodes ∈ {1, 2, 4, 8} × both composers, each verified against the
+// single-node reference. granularity=1 is the legacy coarse split;
+// higher values multiply the partition count per configured node, so
+// this sweeps the shared-queue dispatch from "no stealing possible"
+// to "hundreds of micro-partitions". Q1 (wide float aggregates, the
+// composition-order-sensitive shape) and Q6 (selective range filter)
+// keep the sweep affordable; the full query set is covered at auto
+// granularity by TestOracleSVPEquivalence above.
+func TestOracleGranularitySweep(t *testing.T) {
+	for _, g := range []int{1, 4, 32, 64} {
+		for _, n := range []int{1, 2, 4, 8} {
+			for _, stream := range []bool{false, true} {
+				composer := "memdb"
+				if stream {
+					composer = "stream"
+				}
+				opts := DefaultOptions()
+				opts.StreamCompose = stream
+				opts.AVPGranularity = g
+				s := buildStack(t, n, opts)
+				queries := []int{1, 6}
+				for _, qn := range queries {
+					label := fmt.Sprintf("g=%d n=%d composer=%s Q%d", g, n, composer, qn)
+					text := tpch.MustQuery(qn)
+					want := s.single(t, text)
+					got, err := s.ctl.Query(text)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					assertRowsULP(t, label, got, want)
+				}
+				if st := s.eng.Snapshot(); st.SVPQueries != int64(len(queries)) {
+					t.Errorf("g=%d n=%d composer=%s: %d SVP queries, want %d (fallbacks: %v)",
+						g, n, composer, st.SVPQueries, len(queries), st.FallbackReasons)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRepeatedRunsBitIdentical proves merge order is
+// schedule-independent: with seeded random per-statement delays on
+// every node, 100 repeated runs of the same query take different
+// claim/steal/completion orders through the shared partition queue,
+// yet every run must compose to the bit-identical result (same row
+// order, same float bits) — the determinism contract that makes the
+// partial-result cache and the differential oracle trustworthy.
+func TestOracleRepeatedRunsBitIdentical(t *testing.T) {
+	const runs = 100
+	for _, stream := range []bool{false, true} {
+		composer := "memdb"
+		if stream {
+			composer = "stream"
+		}
+		opts := DefaultOptions()
+		opts.StreamCompose = stream
+		opts.AVPGranularity = 32 // 128 partitions across 4 nodes
+		s := buildStack(t, 4, opts)
+		for i, p := range s.eng.Procs() {
+			p.InjectFaults(fault.New(int64(7 + i)).Slow(50*time.Microsecond, 0).Jitter(3.0))
+		}
+		text := tpch.MustQuery(6)
+		want := s.single(t, text)
+		var first *engine.Result
+		for i := 0; i < runs; i++ {
+			got, err := s.ctl.Query(text)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", composer, i, err)
+			}
+			if first == nil {
+				first = got
+				assertRowsULP(t, composer+" vs reference", got, want)
+				continue
+			}
+			assertBitIdentical(t, fmt.Sprintf("%s run %d vs run 0", composer, i), got, first)
+		}
+		// The schedules must actually have differed: with randomized
+		// delays across 100 runs, work stealing is statistically certain.
+		if st := s.eng.Snapshot(); st.AVPSteals == 0 {
+			t.Errorf("%s: no steals across %d jittered runs — schedules never diverged", composer, runs)
 		}
 	}
 }

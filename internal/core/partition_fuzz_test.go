@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPartitionRanges fuzzes the one invariant everything above the
+// scheduler depends on: splitting [lo, hi] into n virtual partitions
+// must tile the domain exactly — first range starts at lo, last range
+// ends at hi+1, consecutive ranges meet with no gap and no overlap,
+// and widths stay balanced (the adaptive chunk sizing in avpState
+// assumes near-equal partition widths). A violated invariant here is
+// silently wrong query results: a gap drops rows, an overlap double
+// counts them through the composer.
+//
+// The corpus under testdata/fuzz/FuzzPartitionRanges pins the
+// adaptive-resize edge cases: more partitions than keys, exactly one
+// key per partition, the avpMinPartKeys clamp boundary, a single
+// partition, negative domains crossing zero, and a full 32-bit span
+// at the top of the int64 key range.
+func FuzzPartitionRanges(f *testing.F) {
+	f.Add(int64(1), uint32(2999), uint16(4))     // the test fixture domain, coarse
+	f.Add(int64(1), uint32(2999), uint16(256))   // fine-grained: 64 per node × 4
+	f.Add(int64(1), uint32(2), uint16(64))       // far more partitions than keys
+	f.Add(int64(5), uint32(63), uint16(64))      // exactly one key per partition
+	f.Add(int64(0), uint32(2048), uint16(1))     // single partition, avpMinPartKeys span
+	f.Add(int64(-1500), uint32(2999), uint16(7)) // negative domain crossing zero
+	f.Add(int64(1), uint32(6000000), uint16(4))  // the paper's running example
+	f.Fuzz(func(t *testing.T, lo int64, spanRaw uint32, nRaw uint16) {
+		span := int64(spanRaw) // hi - lo; domain holds span+1 keys
+		if lo > math.MaxInt64-span-1 {
+			lo = math.MaxInt64 - span - 1 // keep hi+1 representable
+		}
+		hi := lo + span
+		n := int(nRaw%4096) + 1
+
+		prevEnd := lo
+		minW, maxW := int64(math.MaxInt64), int64(-1)
+		for i := 0; i < n; i++ {
+			v1, v2 := Partition(lo, hi, n, i)
+			if v1 != prevEnd {
+				t.Fatalf("lo=%d hi=%d n=%d: partition %d starts at %d, want %d (gap or overlap)",
+					lo, hi, n, i, v1, prevEnd)
+			}
+			if v2 < v1 {
+				t.Fatalf("lo=%d hi=%d n=%d: partition %d inverted [%d, %d)", lo, hi, n, i, v1, v2)
+			}
+			if w := v2 - v1; w < minW {
+				minW = w
+			}
+			if w := v2 - v1; w > maxW {
+				maxW = w
+			}
+			prevEnd = v2
+		}
+		if prevEnd != hi+1 {
+			t.Fatalf("lo=%d hi=%d n=%d: last partition ends at %d, want %d", lo, hi, n, prevEnd, hi+1)
+		}
+		if maxW-minW > 1 {
+			t.Fatalf("lo=%d hi=%d n=%d: widths range %d..%d, want balanced within 1", lo, hi, n, minW, maxW)
+		}
+	})
+}

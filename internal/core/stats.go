@@ -50,6 +50,10 @@ type engineStats struct {
 	streamedRows       statCounter
 	limitShortCircuits statCounter
 
+	avpPartitions statCounter
+	avpSteals     statCounter
+	avpRequeues   statCounter
+
 	cacheHits          statCounter
 	cacheMisses        statCounter
 	cacheStaleHits     statCounter
@@ -83,6 +87,9 @@ func (st *engineStats) wire(reg *obs.Registry) {
 	st.streamedBatches.m = reg.Counter(obs.MGatherBatches)
 	st.streamedRows.m = reg.Counter(obs.MGatherRows)
 	st.limitShortCircuits.m = reg.Counter(obs.MLimitShortCircuit)
+	st.avpPartitions.m = reg.Counter(obs.MAVPPartitions)
+	st.avpSteals.m = reg.Counter(obs.MAVPSteals)
+	st.avpRequeues.m = reg.Counter(obs.MAVPRequeues)
 	st.cacheHits.m = reg.Counter(obs.MCacheHits)
 	st.cacheMisses.m = reg.Counter(obs.MCacheMisses)
 	st.cacheStaleHits.m = reg.Counter(obs.MCacheStaleHits)
@@ -121,6 +128,9 @@ func (st *engineStats) snapshot() Stats {
 		StreamedBatches:      st.streamedBatches.Load(),
 		StreamedRows:         st.streamedRows.Load(),
 		LimitShortCircuits:   st.limitShortCircuits.Load(),
+		AVPPartitions:        st.avpPartitions.Load(),
+		AVPSteals:            st.avpSteals.Load(),
+		AVPRequeues:          st.avpRequeues.Load(),
 		CacheHits:            st.cacheHits.Load(),
 		CacheMisses:          st.cacheMisses.Load(),
 		CacheStaleHits:       st.cacheStaleHits.Load(),

@@ -61,6 +61,10 @@ type Config struct {
 	// each node engine (0 = auto, 1 = serial — the paper configuration,
 	// whose nodes were single-core).
 	Parallelism int
+	// AVPGranularity is the fine virtual partitions per configured node
+	// (0 = auto, 1 = the coarse one-range-per-node split); the steal
+	// experiment sweeps it.
+	AVPGranularity int
 	// Admission configures overload protection (zero = off, the paper
 	// configuration); the overload experiment sets it.
 	Admission admission.Config
@@ -145,6 +149,7 @@ func buildStack(n int, cfg Config) (*stack, error) {
 	opts.ForceIndexScan = !cfg.AllowSeqscan
 	opts.Cache = cfg.Cache
 	opts.Parallelism = cfg.Parallelism
+	opts.AVPGranularity = cfg.AVPGranularity
 	opts.Admission = cfg.Admission
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{Cost: cfg.Cost})

@@ -63,6 +63,7 @@ type Injector struct {
 	slowBase      time.Duration
 	slowRamp      time.Duration
 	jitterFrac    float64
+	factor        float64 // >1: proportional slowdown of each operation
 
 	stats Stats
 	m     injectorMetrics
@@ -142,6 +143,18 @@ func (inj *Injector) Slow(base, ramp time.Duration) *Injector {
 	return inj
 }
 
+// SlowFactor scripts a proportional straggler: each operation takes f×
+// its natural duration (the after-hook sleeps the extra (f-1)× of the
+// observed elapsed time, injected latency included). Unlike Slow's
+// constant add-on, the slowdown scales with the work per statement, so
+// it models a genuinely slow node across any partition granularity.
+func (inj *Injector) SlowFactor(f float64) *Injector {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.factor = f
+	return inj
+}
+
 // Jitter adds up to frac (e.g. 0.2 = +20%) of seeded random extra
 // latency to each injected delay.
 func (inj *Injector) Jitter(frac float64) *Injector {
@@ -190,6 +203,7 @@ func (inj *Injector) Snapshot() Stats {
 // with the operation's outcome (crash-mid-query replaces it with a
 // crash). Either return may be nil.
 func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err error) {
+	t0 := time.Now() // SlowFactor measures the whole operation from here
 	inj.mu.Lock()
 	inj.n++
 	n := inj.n
@@ -227,6 +241,7 @@ func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err er
 		inj.m.delayed.Inc()
 		inj.stats.DelayInjected += delay
 	}
+	factor := inj.factor
 	crashNow := inj.crashAt > 0 && n >= inj.crashAt
 	if crashNow {
 		// This request does its work; the "node" then dies before the
@@ -249,9 +264,36 @@ func (inj *Injector) Begin(ctx context.Context) (after func(error) error, err er
 		}
 	}
 	if crashNow {
-		return func(error) error {
+		after = func(error) error {
 			return fmt.Errorf("injected crash mid-query (request %d): %w", n, cluster.ErrBackendDown)
-		}, nil
+		}
 	}
-	return nil, nil
+	if factor > 1 {
+		// Proportional straggler: stretch the operation to factor× its
+		// observed duration (base delay included), then hand off to any
+		// crash hook. Ctx-aware like every injected sleep.
+		inner := after
+		after = func(opErr error) error {
+			extra := time.Duration((factor - 1) * float64(time.Since(t0)))
+			if extra > 0 {
+				inj.mu.Lock()
+				inj.stats.Delayed++
+				inj.stats.DelayInjected += extra
+				inj.m.delayed.Inc()
+				inj.mu.Unlock()
+				t := time.NewTimer(extra)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				}
+			}
+			if inner != nil {
+				return inner(opErr)
+			}
+			return opErr
+		}
+	}
+	return after, nil
 }

@@ -57,6 +57,13 @@ const (
 	MCachePartialBytes   = "apuama_cache_partial_bytes"        // gauge: resident bytes, partial layer
 	MCachePartialEntries = "apuama_cache_partial_entries"      // gauge: resident partition entries
 
+	// Fine-grained adaptive virtual partitions (cluster-level
+	// work-stealing scheduler, internal/core).
+	MAVPPartitions = "apuama_avp_partitions_total"      // fine partitions dispatched
+	MAVPSteals     = "apuama_avp_steals_total"          // claims outside the node's home block
+	MAVPRequeues   = "apuama_avp_requeues_total"        // partitions requeued after node failure
+	MAVPNodeParts  = "apuama_avp_node_partitions_total" // per-node claims, labeled {node=...}
+
 	// Intra-node morsel-driven parallelism (internal/engine), labeled
 	// {node=...}.
 	MEngineParallelQueries = "apuama_engine_parallel_queries_total" // plans that ran a parallel fragment
