@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-overload bench-baseline bench-compare clean
+.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite columnar-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-columnar bench-overload bench-baseline bench-compare clean
 
 all: build test
 
@@ -39,15 +39,26 @@ race-cpu:
 avp-suite:
 	$(GO) test -race -count=1 -run 'TestStragglerChaosFineVsCoarse|TestOracleGranularitySweep|TestOracleRepeatedRunsBitIdentical|TestPartialCacheStableAcrossNodeDeath|TestMidQueryCrashRequeuesOnce|TestFinePartsResolution' ./internal/core/
 
+# The columnar acceptance suite, by name and race-enabled: the
+# engine-level heap/columnar differential sweep with segment builds
+# racing parallel morsel workers, the zone-map pruning and EXPLAIN
+# regressions, the segment metrics mirror, and the core-level
+# bit-identity oracle across node counts, composers and interleaved
+# writes. Runs inside `make race` too; this target keeps the gate
+# visible if the suite is ever renamed or filtered.
+columnar-suite:
+	$(GO) test -race -count=1 -run 'TestColumnar|TestSegments|TestOracleColumnar' ./internal/engine/ ./internal/storage/ ./internal/core/
+
 # Replay the checked-in fuzz corpora (testdata/fuzz/) as plain tests:
 # every past crasher and interesting input must stay green.
 fuzz-replay:
-	$(GO) test -run Fuzz ./internal/sql/ ./internal/core/
+	$(GO) test -run Fuzz ./internal/sql/ ./internal/core/ ./internal/engine/
 
 # Tier-1 verification: static checks, the full suite under the race
 # detector (chaos/resilience tests included), the engine suite across
-# -cpu settings, the named AVP acceptance suite, and corpus replay.
-tier1: vet staticcheck race race-cpu avp-suite fuzz-replay
+# -cpu settings, the named AVP and columnar acceptance suites, and
+# corpus replay.
+tier1: vet staticcheck race race-cpu avp-suite columnar-suite fuzz-replay
 
 # Short live fuzzing of each target (30s apiece) — a smoke pass, not a
 # campaign; run the targets individually with -fuzztime for longer.
@@ -104,6 +115,14 @@ bench-compare:
 # plotting and CI diffing against the figure-suite snapshot.
 bench-avp:
 	$(GO) run ./cmd/apuama-bench -exp steal -quick -quiet -json bench-avp.json
+
+# Columnar segment-store study: Q1, Q6 and a Q6-shaped selective range
+# scan, each timed heap vs columnar, recording rows/sec, the speedup
+# ratio and the fraction of segments zone maps pruned, as JSON for
+# plotting and CI diffing. The experiment itself fails if pruning never
+# engages on the selective shape.
+bench-columnar:
+	$(GO) run ./cmd/apuama-bench -exp columnar -quick -quiet -json bench-columnar.json
 
 # Result-cache experiment: cold vs warm vs shared-concurrent latency,
 # written as JSON for plotting.

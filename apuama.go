@@ -163,6 +163,11 @@ type Config struct {
 	// configured node count, so partial-result cache keys stay stable
 	// when nodes die or rejoin.
 	AVPGranularity int
+	// Columnar enables the columnar segment store: node planners replace
+	// eligible heap scans with segment scans whose per-segment zone maps
+	// prune work the filter cannot match. The heap stays the write-side
+	// store; results are bit-identical either way.
+	Columnar bool
 	// GatherBudget bounds the in-flight partial-result batches buffered
 	// between each node's stream and the composer, per partition
 	// (backpressure on producers that outrun composition; default 8).
@@ -288,6 +293,7 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	opts.Parallelism = cfg.Parallelism
 	opts.AVPGranularity = cfg.AVPGranularity
+	opts.Columnar = cfg.Columnar
 	opts.QueryTimeout = cfg.QueryTimeout
 	opts.RetryLimit = cfg.RetryLimit
 	opts.RetryBackoff = cfg.RetryBackoff

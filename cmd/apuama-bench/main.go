@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "fig2|fig3a|fig3b|fig4a|fig4b|all|ablations|freshness|strategy|skew|cache|overload|steal")
+		exp      = flag.String("exp", "all", "fig2|fig3a|fig3b|fig4a|fig4b|all|ablations|freshness|strategy|skew|cache|overload|steal|columnar")
 		sf       = flag.Float64("sf", 0, "TPC-H scale factor (0 = default)")
 		nodesArg = flag.String("nodes", "", "comma-separated node counts (default 1,2,4,8,16,32)")
 		repeats  = flag.Int("repeats", 0, "runs per isolated query (default 5)")
@@ -38,6 +38,7 @@ func main() {
 		baseline = flag.Bool("baseline", false, "disable Apuama (C-JDBC baseline)")
 		par      = flag.Int("parallelism", 1, "intra-node morsel-driven degree per node engine (0 = auto, 1 = serial)")
 		avpGran  = flag.Int("avp-granularity", 0, "fine virtual partitions per configured node (0 = auto, 1 = coarse)")
+		columnar = flag.Bool("columnar", false, "enable the columnar segment store with zone-map pruning")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 		trace    = flag.Bool("trace", false, "trace each TPC-H query once and print the per-phase latency breakdown")
 		jsonOut  = flag.String("json", "", "also write the figures as JSON to this file (for plotting/CI diffing)")
@@ -74,6 +75,7 @@ func main() {
 	cfg.Baseline = *baseline
 	cfg.Parallelism = *par
 	cfg.AVPGranularity = *avpGran
+	cfg.Columnar = *columnar
 
 	if *trace {
 		if err := runTrace(cfg); err != nil {
@@ -120,6 +122,8 @@ func main() {
 		figs, err = one(experiments.OverloadExperiment, cfg, progress)
 	case "steal":
 		figs, err = one(experiments.StealExperiment, cfg, progress)
+	case "columnar":
+		figs, err = one(experiments.ColumnarExperiment, cfg, progress)
 	default:
 		log.Fatalf("apuama-bench: unknown experiment %q", *exp)
 	}
@@ -155,6 +159,7 @@ type benchReport struct {
 	Baseline    bool                  `json:"baseline"`
 	Parallelism int                   `json:"parallelism"`
 	AVPGran     int                   `json:"avp_granularity"`
+	Columnar    bool                  `json:"columnar"`
 	Figures     []*experiments.Figure `json:"figures"`
 }
 
@@ -169,6 +174,7 @@ func writeJSON(path, exp string, cfg experiments.Config, figs []*experiments.Fig
 		Baseline:    cfg.Baseline,
 		Parallelism: cfg.Parallelism,
 		AVPGran:     cfg.AVPGranularity,
+		Columnar:    cfg.Columnar,
 		Figures:     figs,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -123,6 +123,14 @@ type Options struct {
 	// n > 1 = fixed worker count.
 	Parallelism int
 
+	// Columnar enables the segment store: node planners replace eligible
+	// heap scans with columnar segment scans whose zone maps prune
+	// segments (and whole morsels) that cannot match the filter. The heap
+	// stays the write-side store; segments materialize lazily per barrier
+	// epoch. Results are bit-identical with the heap path — only the
+	// simulated IO/CPU charged for pruned segments changes.
+	Columnar bool
+
 	// Metrics, when set, mirrors every engine counter into the registry
 	// and attributes per-phase latency (barrier, dispatch, sub-query,
 	// gather, compose) to histograms. Nil disables mirroring at zero
@@ -227,6 +235,10 @@ type Stats struct {
 	CacheShared          int64 // queries that shared another's in-flight execution
 	CachePartialHits     int64 // partitions served from the partial cache (no dispatch)
 	CachePartialMisses   int64 // partition probes that dispatched for real
+	SegmentsBuilt        int64 // column segments materialized from the heap
+	SegmentsPruned       int64 // segments skipped via zone maps before scanning
+	SegmentsScanned      int64 // segments actually scanned by columnar scans
+	SegmentBytes         int64 // resident encoded segment bytes (gauge)
 	BarrierWaits         time.Duration
 	// FallbackReasons buckets SVP-ineligible queries by stable reason
 	// class (see FallbackClass), keeping cardinality bounded.
@@ -253,6 +265,9 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 		e.adm = admission.New(admCfg)
 	}
 	e.st.wire(opts.Metrics)
+	// Columnar is a database-wide planner switch (segments live on the
+	// shared relations); set it before any node serves a query.
+	db.SetColumnar(opts.Columnar)
 	for _, nd := range nodes {
 		if opts.Parallelism != 0 {
 			// Make the degree the node's default too, so pass-through
@@ -305,8 +320,20 @@ func (e *Engine) NetMeter() *costmodel.Meter { return e.net }
 
 // Snapshot returns a copy of the engine counters. Every scalar field is
 // read with an atomic load (writers never block a snapshot and vice
-// versa), and FallbackReasons is a fresh map the caller owns.
-func (e *Engine) Snapshot() Stats { return e.st.snapshot() }
+// versa), and FallbackReasons is a fresh map the caller owns. The
+// segment fields aggregate the per-node columnar counters at snapshot
+// time (they live on the node engines, not in engineStats).
+func (e *Engine) Snapshot() Stats {
+	s := e.st.snapshot()
+	for _, p := range e.procs {
+		built, pruned, scanned := p.Node().SegmentStats()
+		s.SegmentsBuilt += built
+		s.SegmentsPruned += pruned
+		s.SegmentsScanned += scanned
+	}
+	s.SegmentBytes = e.db.SegmentBytes()
+	return s
+}
 
 // backendProxy is what the controller sees as one replica connection.
 type backendProxy struct {

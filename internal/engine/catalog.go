@@ -33,6 +33,11 @@ type Database struct {
 	// writeSeq hands out dense write IDs when nodes run standalone
 	// (the cluster middleware supplies IDs itself in cluster mode).
 	writeSeq atomic.Int64
+
+	// columnar enables segment-store scans (-columnar): the planner
+	// replaces eligible heap scans with colScanOp. Database-wide because
+	// segments live on the shared relations, not per node.
+	columnar atomic.Bool
 }
 
 // NewDatabase creates an empty database with the given cost model.
@@ -111,6 +116,26 @@ func (db *Database) Vacuum(horizon int64) int64 {
 	var total int64
 	for _, rel := range rels {
 		total += rel.Vacuum(horizon)
+	}
+	return total
+}
+
+// SetColumnar enables or disables columnar segment scans for every node
+// attached to this database.
+func (db *Database) SetColumnar(on bool) { db.columnar.Store(on) }
+
+// ColumnarEnabled reports whether columnar segment scans are enabled.
+func (db *Database) ColumnarEnabled() bool { return db.columnar.Load() }
+
+// SegmentBytes returns the simulated size of all currently materialized
+// column segments across relations (the apuama_storage_segment_bytes
+// gauge).
+func (db *Database) SegmentBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var total int64
+	for _, rel := range db.relations {
+		total += rel.SegmentBytes()
 	}
 	return total
 }

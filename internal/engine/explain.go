@@ -55,6 +55,8 @@ func describe(o op, depth int, out *[]string) {
 	case *indexScanOp:
 		bound := describeBounds(o)
 		add("Index Scan using %s on %s%s", o.index.Name, o.rel.Name, bound)
+	case *colScanOp:
+		add("Columnar Seq Scan on %s (%s)", o.rel.Name, staticPrune(o))
 	case *filterOp:
 		add("Filter")
 		describe(o.child, depth+1, out)
@@ -121,6 +123,10 @@ func describeFragment(f *fragSpec, depth int, out *[]string) {
 		if f.scanFilter != nil {
 			flt = " (filtered)"
 		}
+		if f.columnar {
+			line("Parallel Columnar Seq Scan on %s%s", f.rel.Name, flt)
+			return
+		}
 		line("Parallel Seq Scan on %s%s", f.rel.Name, flt)
 		return
 	}
@@ -136,6 +142,21 @@ func describeFragment(f *fragSpec, depth int, out *[]string) {
 		bound = " (full)"
 	}
 	line("Parallel Index Scan using %s on %s%s", f.index.Name, f.rel.Name, bound)
+}
+
+// staticPrune renders a columnar scan's zone-map pruning against the
+// relation's currently loaded segment generation. EXPLAIN has no
+// execution context, so only parameter-free constants participate (a
+// paramExpr would need runtime bindings to evaluate); if no generation
+// is loaded yet the count is unknown.
+func staticPrune(o *colScanOp) string {
+	set := o.rel.LoadedSegments()
+	if set == nil {
+		return "segments not built"
+	}
+	checks := resolveZoneChecks(collectZonePreds(o.filter, false), &evalCtx{})
+	_, pruned := pruneSegments(set, checks)
+	return fmt.Sprintf("segments pruned %d/%d", pruned, len(set.Segments))
 }
 
 func describeBounds(o *indexScanOp) string {

@@ -57,17 +57,30 @@ type parallelStats struct {
 	morsels atomic.Int64 // morsels dispatched to workers
 	steals  atomic.Int64 // morsels taken from another worker's shard
 
+	// Columnar segment activity (serial and parallel scans both count).
+	segBuilt   atomic.Int64 // segments materialized from the heap
+	segPruned  atomic.Int64 // segments skipped via zone maps
+	segScanned atomic.Int64 // segments actually scanned
+
 	// obs mirrors (nil-safe no-ops when no registry is wired).
-	mQueries *obs.Counter
-	mMorsels *obs.Counter
-	mSteals  *obs.Counter
-	mUtil    *obs.Gauge
+	mQueries    *obs.Counter
+	mMorsels    *obs.Counter
+	mSteals     *obs.Counter
+	mUtil       *obs.Gauge
+	mSegBuilt   *obs.Counter
+	mSegPruned  *obs.Counter
+	mSegScanned *obs.Counter
+	mSegBytes   *obs.Gauge
 }
 
 func (ps *parallelStats) addMorsels(n int64)     { ps.morsels.Add(n); ps.mMorsels.Add(n) }
 func (ps *parallelStats) addSteals(n int64)      { ps.steals.Add(n); ps.mSteals.Add(n) }
 func (ps *parallelStats) addQuery()              { ps.queries.Add(1); ps.mQueries.Add(1) }
 func (ps *parallelStats) setUtilization(p int64) { ps.mUtil.Set(p) }
+func (ps *parallelStats) addSegBuilt(n int64)    { ps.segBuilt.Add(n); ps.mSegBuilt.Add(n) }
+func (ps *parallelStats) addSegPruned(n int64)   { ps.segPruned.Add(n); ps.mSegPruned.Add(n) }
+func (ps *parallelStats) addSegScanned(n int64)  { ps.segScanned.Add(n); ps.mSegScanned.Add(n) }
+func (ps *parallelStats) setSegBytes(b int64)    { ps.mSegBytes.Set(b) }
 
 // NewNode attaches a new node to the database with its own buffer pool.
 func NewNode(id int, db *Database) *Node {
@@ -136,6 +149,13 @@ func (nd *Node) ParallelStats() (queries, morsels, steals int64) {
 	return nd.pstats.queries.Load(), nd.pstats.morsels.Load(), nd.pstats.steals.Load()
 }
 
+// SegmentStats reports cumulative columnar-scan activity on this node:
+// segments materialized from the heap, segments skipped via zone maps,
+// and segments scanned.
+func (nd *Node) SegmentStats() (built, pruned, scanned int64) {
+	return nd.pstats.segBuilt.Load(), nd.pstats.segPruned.Load(), nd.pstats.segScanned.Load()
+}
+
 // SetObs mirrors the node's parallel-execution counters into a metrics
 // registry (nil disables; handles are nil-safe).
 func (nd *Node) SetObs(reg *obs.Registry) {
@@ -147,6 +167,10 @@ func (nd *Node) SetObs(reg *obs.Registry) {
 	nd.pstats.mMorsels = reg.Counter(obs.Labeled(obs.MEngineMorsels, "node", id))
 	nd.pstats.mSteals = reg.Counter(obs.Labeled(obs.MEngineMorselSteals, "node", id))
 	nd.pstats.mUtil = reg.Gauge(obs.Labeled(obs.MEngineWorkerUtil, "node", id))
+	nd.pstats.mSegBuilt = reg.Counter(obs.Labeled(obs.MEngineSegmentsBuilt, "node", id))
+	nd.pstats.mSegPruned = reg.Counter(obs.Labeled(obs.MEngineSegmentsPruned, "node", id))
+	nd.pstats.mSegScanned = reg.Counter(obs.Labeled(obs.MEngineSegmentsScanned, "node", id))
+	nd.pstats.mSegBytes = reg.Gauge(obs.Labeled(obs.MStorageSegmentBytes, "node", id))
 }
 
 // maxParallelism caps auto-selected degrees: beyond ~8 workers the

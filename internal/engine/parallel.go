@@ -43,6 +43,10 @@ const (
 	morselRids = 4096
 )
 
+// Columnar fragments rely on segments and sequential morsels cutting
+// the page list identically; fail the build if the two constants drift.
+var _ [0]struct{} = [storage.SegmentSpanPages - morselPages]struct{}{}
+
 // fragSpec describes one parallel-safe plan fragment: a base-relation
 // scan (sequential or index range), the conjunctive filters above it,
 // and an optional projection. The spec is immutable and shared by all
@@ -56,6 +60,15 @@ type fragSpec struct {
 	scanFilter     bexpr   // pushed-down scan predicate (may be nil)
 	filters        []bexpr // stacked filter conditions, innermost first
 	project        []bexpr // nil: emit raw scan rows
+
+	// columnar switches a sequential fragment to the segment store: one
+	// morsel per column segment (storage.SegmentSpanPages equals
+	// morselPages, so the row partition matches the heap decomposition
+	// exactly), with zone-map-pruned segments dropped before any worker
+	// is scheduled — a pruned segment is an empty partial, which merges
+	// as the identity, so results stay bit-identical to the heap path.
+	columnar bool
+	segs     []*storage.Segment // kept segments, set by decompose
 }
 
 // morsel is one unit of work: a half-open range over the fragment's page
@@ -67,6 +80,26 @@ type morsel struct{ lo, hi int }
 // may reference correlation parameters) and the B-tree walk is charged
 // to the coordinator's meter exactly as the serial indexScanOp charges it.
 func (f *fragSpec) decompose(ex *execCtx) (pages []*storage.Page, rids []storage.RowID, morsels []morsel, err error) {
+	if f.columnar {
+		set, built := f.rel.Segments(ex.snapshot)
+		if built {
+			ex.node.pstats.addSegBuilt(int64(len(set.Segments)))
+			ex.node.pstats.setSegBytes(ex.node.db.SegmentBytes())
+		}
+		ec := evalCtx{ex: ex}
+		preds := collectZonePreds(f.scanFilter, true)
+		for _, c := range f.filters {
+			preds = append(preds, collectZonePreds(c, true)...)
+		}
+		kept, pruned := pruneSegments(set, resolveZoneChecks(preds, &ec))
+		ex.node.pstats.addSegPruned(int64(pruned))
+		ex.node.pstats.addSegScanned(int64(len(kept)))
+		f.segs = kept
+		for i := range kept {
+			morsels = append(morsels, morsel{i, i + 1})
+		}
+		return nil, nil, morsels, nil
+	}
 	if f.index == nil {
 		pages = f.rel.PageSnapshot()
 		for lo := 0; lo < len(pages); lo += morselPages {
@@ -140,6 +173,35 @@ func (f *fragSpec) keep(ec *evalCtx, row sqltypes.Row) (bool, error) {
 // charge, and hands each surviving (pre-projection) row to emit.
 func (f *fragSpec) runMorsel(ex *execCtx, ec *evalCtx, m morsel, pages []*storage.Page, rids []storage.RowID, emit func(sqltypes.Row) error) error {
 	cfg := ex.meter.Config()
+	if f.columnar {
+		for si := m.lo; si < m.hi; si++ {
+			seg := f.segs[si]
+			start := int32(0)
+			for k, end := range seg.PageEnds {
+				ex.touch(seg.PageIDs[k], true)
+				for i := start; i < end; i++ {
+					ex.meter.Charge(cfg.CPUTuple)
+					if !seg.Visible(int(i), ex.snapshot) {
+						continue
+					}
+					row := seg.Rows[i]
+					ok, err := f.keep(ec, row)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					if err := emit(row); err != nil {
+						return err
+					}
+				}
+				start = end
+				ex.meter.MaybeFlush()
+			}
+		}
+		return nil
+	}
 	if f.index == nil {
 		for pi := m.lo; pi < m.hi; pi++ {
 			p := pages[pi]
@@ -727,6 +789,28 @@ func extractFragment(o op, gated bool) (*fragSpec, bool) {
 			}
 			reverseExprs(filters)
 			return &fragSpec{rel: v.rel, scanFilter: v.filter, filters: filters}, true
+		case *colScanOp:
+			if v.needKeyOrder {
+				// This scan replaced a clustered index range scan. Its
+				// columnar decomposition (8-page segments) cuts rows
+				// differently than the heap index fragment's 4096-rid
+				// morsels, which would re-associate float partials in a
+				// different order — so under parallelism the heap fallback
+				// fragment runs instead, keeping columnar on/off
+				// bit-identical. Columnar parallel fragments exist only
+				// for sequential-scan shapes, where segment and morsel
+				// boundaries coincide by construction.
+				o = v.fallback
+				continue
+			}
+			if gated && v.rel.LiveRows() < parallelMinRows {
+				return nil, false
+			}
+			if !parallelSafeExpr(v.filter) {
+				return nil, false
+			}
+			reverseExprs(filters)
+			return &fragSpec{rel: v.rel, scanFilter: v.filter, filters: filters, columnar: true}, true
 		case *indexScanOp:
 			if gated && v.rel.LiveRows() < parallelMinRows {
 				return nil, false

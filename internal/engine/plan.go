@@ -290,6 +290,20 @@ func (n *Node) planScan(b *binder, t int, tb tableBinding, filters []sql.Expr, n
 			lo: lo, hi: hi, loIncl: best.loIncl, hiIncl: best.hiIncl,
 			filter: filter,
 		}
+		// Columnar replacement of a clustered index range scan: every
+		// conjunct is already in the scan filter (the bounds above are
+		// redundant with it), so a columnar scan produces the same row
+		// set, and zone maps on the clustered key prune the segments the
+		// index range would never have touched. Row ORDER additionally
+		// requires physical order to be key order, which only the built
+		// segment generation knows — so the index scan rides along as the
+		// runtime fallback. Secondary-index scans keep the heap path:
+		// their output order is unrelated to physical order.
+		if n.db.ColumnarEnabled() && best.index.Clustered && tb.rel.LiveRows() >= columnarMinRows {
+			scanOp = &colScanOp{rel: tb.rel, filter: filter, needKeyOrder: true, fallback: scanOp}
+		}
+	} else if n.db.ColumnarEnabled() && tb.rel.LiveRows() >= columnarMinRows {
+		scanOp = &colScanOp{rel: tb.rel, filter: filter}
 	} else {
 		scanOp = &seqScanOp{rel: tb.rel, filter: filter}
 	}

@@ -65,6 +65,10 @@ type Config struct {
 	// (0 = auto, 1 = the coarse one-range-per-node split); the steal
 	// experiment sweeps it.
 	AVPGranularity int
+	// Columnar enables the segment store with zone-map pruning inside
+	// each node engine (off = the paper's heap-only configuration); the
+	// columnar experiment compares both sides.
+	Columnar bool
 	// Admission configures overload protection (zero = off, the paper
 	// configuration); the overload experiment sets it.
 	Admission admission.Config
@@ -151,6 +155,7 @@ func buildStack(n int, cfg Config) (*stack, error) {
 	opts.Parallelism = cfg.Parallelism
 	opts.AVPGranularity = cfg.AVPGranularity
 	opts.Admission = cfg.Admission
+	opts.Columnar = cfg.Columnar
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{Cost: cfg.Cost})
 	return &stack{db: db, nodes: nodes, eng: eng, ctl: ctl}, nil

@@ -71,6 +71,13 @@ const (
 	MEngineMorselSteals    = "apuama_engine_morsel_steals_total"    // morsels stolen across worker shards
 	MEngineWorkerUtil      = "apuama_engine_worker_utilization_pct" // gauge: busy/(wall×degree) of the last fragment
 
+	// Columnar segment store (internal/storage + engine colScanOp),
+	// labeled {node=...}.
+	MEngineSegmentsBuilt   = "apuama_engine_segments_built_total"   // segments materialized from the heap
+	MEngineSegmentsPruned  = "apuama_engine_segments_pruned_total"  // segments skipped via zone maps
+	MEngineSegmentsScanned = "apuama_engine_segments_scanned_total" // segments actually scanned
+	MStorageSegmentBytes   = "apuama_storage_segment_bytes"         // gauge: resident encoded segment bytes
+
 	// Overload protection (internal/admission).
 	MAdmissionAdmitted    = "apuama_admission_admitted_total"        // queries granted slots
 	MAdmissionQueued      = "apuama_admission_queued_total"          // queries that waited for a slot

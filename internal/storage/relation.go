@@ -74,6 +74,17 @@ type Relation struct {
 	statsMu sync.Mutex
 	colMin  []sqltypes.Value
 	colMax  []sqltypes.Value
+
+	// writeEpoch is the highest write ID whose heap mutation on this
+	// relation has completed; segment generations key their validity on
+	// it (see segment.go). Bumped after the mutation, before the write
+	// is reported applied.
+	writeEpoch atomic.Int64
+
+	// segments is the current columnar generation (nil until a columnar
+	// scan builds one); segMu serializes rebuilds.
+	segMu    sync.Mutex
+	segments atomic.Pointer[SegmentSet]
 }
 
 // NewRelation creates an empty relation with the given simulated page size.
@@ -186,6 +197,7 @@ func (r *Relation) Insert(writeID int64, row sqltypes.Row) (RowID, error) {
 	}
 	r.liveRows.Add(1)
 	r.updateStats(row)
+	r.bumpEpoch(writeID)
 	return rid, nil
 }
 
@@ -199,6 +211,7 @@ func (r *Relation) MarkDeleted(rid RowID, writeID int64) bool {
 	}
 	if p.markDeleted(rid.Slot, writeID) {
 		r.liveRows.Add(-1)
+		r.bumpEpoch(writeID)
 		return true
 	}
 	return false

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"apuama/internal/sqltypes"
+)
+
+// keyedRelation builds a relation clustered on id, loaded in key order
+// (the TPC-H loading property the columnar scan relies on).
+func keyedRelation(t *testing.T, n int) *Relation {
+	t.Helper()
+	r := NewRelation("items", testSchema(), 512)
+	if _, err := r.AddIndex("items_pkey", []string{"id"}, true, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := sqltypes.Row{sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("item-%04d", i)), sqltypes.NewFloat(float64(i) * 1.5)}
+		if _, err := r.Insert(0, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// findRow returns the RowID of the first heap row matching pred.
+func findRow(r *Relation, pred func(sqltypes.Row) bool) (RowID, bool) {
+	for pi, p := range r.PageSnapshot() {
+		for s := int32(0); s < int32(p.Count()); s++ {
+			if pred(p.Row(s)) {
+				return RowID{Page: int32(pi), Slot: s}, true
+			}
+		}
+	}
+	return RowID{}, false
+}
+
+// segmentRows collects the visible rows of a generation in scan order.
+func segmentRows(set *SegmentSet, snapshot int64) []sqltypes.Row {
+	var out []sqltypes.Row
+	for _, seg := range set.Segments {
+		for i := 0; i < seg.NumRows(); i++ {
+			if seg.Visible(i, snapshot) {
+				out = append(out, seg.Rows[i])
+			}
+		}
+	}
+	return out
+}
+
+func TestSegmentsCoverHeapExactly(t *testing.T) {
+	r := keyedRelation(t, 200)
+	set, built := r.Segments(0)
+	if !built {
+		t.Fatal("first call did not build")
+	}
+	if set.Rows != 200 {
+		t.Fatalf("generation covers %d rows, want 200", set.Rows)
+	}
+	if !set.KeyOrdered {
+		t.Fatal("key-ordered load not detected")
+	}
+	if want := (r.NumPages() + SegmentSpanPages - 1) / SegmentSpanPages; len(set.Segments) != want {
+		t.Fatalf("%d segments over %d pages, want %d", len(set.Segments), r.NumPages(), want)
+	}
+	rows := segmentRows(set, 0)
+	if len(rows) != 200 {
+		t.Fatalf("visible rows %d, want 200", len(rows))
+	}
+	for i, row := range rows {
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d out of physical order: id %d", i, row[0].I)
+		}
+	}
+	// Zone maps span each segment's actual id range.
+	first := set.Segments[0]
+	if first.ColMin(0).I != 0 || first.ColMax(0).I != rows[first.NumRows()-1][0].I {
+		t.Errorf("segment 0 zone map [%v, %v] does not match its rows", first.ColMin(0), first.ColMax(0))
+	}
+	if set.Bytes <= 0 || r.SegmentBytes() != set.Bytes {
+		t.Errorf("generation bytes %d, relation reports %d", set.Bytes, r.SegmentBytes())
+	}
+}
+
+// TestSegmentsRebuildUnderWrites is the epoch-invalidation regression:
+// inserts and deletes between barrier epochs must invalidate the
+// generation for newer snapshots exactly like the result cache — older
+// snapshots keep reusing it, the first newer scan rebuilds.
+func TestSegmentsRebuildUnderWrites(t *testing.T) {
+	r := keyedRelation(t, 100)
+	set0, built := r.Segments(0)
+	if !built {
+		t.Fatal("first call did not build")
+	}
+	if _, again := r.Segments(0); again {
+		t.Fatal("unchanged relation rebuilt")
+	}
+
+	// A later write: snapshot 0 still answers from the old generation
+	// (exact for S <= Epoch)...
+	if _, err := r.Insert(1, sqltypes.Row{sqltypes.NewInt(1000), sqltypes.NewString("new"), sqltypes.NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if r.WriteEpoch() != 1 {
+		t.Fatalf("write epoch %d after insert, want 1", r.WriteEpoch())
+	}
+	if set, again := r.Segments(0); again || set != set0 {
+		t.Fatal("snapshot 0 did not reuse the pre-write generation")
+	}
+	// ...but a snapshot covering the write rebuilds and sees the row.
+	set1, built := r.Segments(1)
+	if !built {
+		t.Fatal("snapshot 1 reused a generation missing write 1")
+	}
+	if rows := segmentRows(set1, 1); len(rows) != 101 {
+		t.Fatalf("snapshot 1 sees %d rows, want 101", len(rows))
+	}
+	// The insert landed after the ordered prefix, so order still holds.
+	if !set1.KeyOrdered {
+		t.Error("append in key order lost KeyOrdered")
+	}
+
+	// Deletes bump the epoch too; the rebuilt generation carries the
+	// xmax stamp, so each snapshot sees its own row set.
+	set1Rows := segmentRows(set1, 1)
+	victim, found := findRow(r, func(row sqltypes.Row) bool { return row[0].I == 5 })
+	if !found {
+		t.Fatal("victim row not found")
+	}
+	if !r.MarkDeleted(victim, 2) {
+		t.Fatal("delete failed")
+	}
+	set2, built := r.Segments(2)
+	if !built {
+		t.Fatal("snapshot 2 reused a generation missing the delete")
+	}
+	if n := len(segmentRows(set2, 2)); n != len(set1Rows)-1 {
+		t.Fatalf("snapshot 2 sees %d rows, want %d", n, len(set1Rows)-1)
+	}
+	// The same generation answers snapshot 1 exactly: the dead row's
+	// xmax (2) is above that snapshot.
+	if n := len(segmentRows(set2, 1)); n != len(set1Rows) {
+		t.Fatalf("snapshot 1 through the new generation sees %d rows, want %d", n, len(set1Rows))
+	}
+}
+
+// TestSegmentsEpochReuseAheadOfSnapshot covers the second reuse arm: a
+// snapshot above the build epoch may reuse the generation as long as the
+// relation's write epoch has not moved (no write exists in between).
+func TestSegmentsEpochReuseAheadOfSnapshot(t *testing.T) {
+	r := keyedRelation(t, 50)
+	if _, err := r.Insert(3, sqltypes.Row{sqltypes.NewInt(50), sqltypes.NewString("x"), sqltypes.NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, built := r.Segments(3); !built {
+		t.Fatal("expected a build at snapshot 3")
+	}
+	// Snapshot 7 > build epoch 3, but no write happened since: reuse.
+	if _, built := r.Segments(7); built {
+		t.Fatal("rebuilt although the write epoch never moved")
+	}
+}
+
+func TestSegmentsVacuumInvalidates(t *testing.T) {
+	r := keyedRelation(t, 120)
+	if _, built := r.Segments(0); !built {
+		t.Fatal("build failed")
+	}
+	victim, found := findRow(r, func(row sqltypes.Row) bool { return true })
+	if !found {
+		t.Fatal("no rows")
+	}
+	if !r.MarkDeleted(victim, 1) {
+		t.Fatal("delete failed")
+	}
+	r.Vacuum(1)
+	if r.LoadedSegments() != nil {
+		t.Fatal("vacuum left a generation with stale page identities loaded")
+	}
+	set, built := r.Segments(1)
+	if !built {
+		t.Fatal("post-vacuum scan did not rebuild")
+	}
+	if rows := segmentRows(set, 1); len(rows) != 119 {
+		t.Fatalf("post-vacuum generation sees %d rows, want 119", len(rows))
+	}
+}
+
+// TestSegmentsKeyOrderLost: an out-of-order insert (possible on a
+// relation whose clustered key is not append-ordered) must clear
+// KeyOrdered, the property that lets a columnar scan stand in for a
+// clustered index scan.
+func TestSegmentsKeyOrderLost(t *testing.T) {
+	r := keyedRelation(t, 40)
+	if _, err := r.Insert(1, sqltypes.Row{sqltypes.NewInt(7), sqltypes.NewString("dup"), sqltypes.NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	set, _ := r.Segments(1)
+	if set.KeyOrdered {
+		t.Fatal("KeyOrdered survived an out-of-order insert")
+	}
+}
+
+// TestSegmentsNoClusteredIndex: without a clustered index there is no
+// key order to preserve.
+func TestSegmentsNoClusteredIndex(t *testing.T) {
+	r := fillRelation(t, 30)
+	set, _ := r.Segments(0)
+	if set.KeyOrdered {
+		t.Fatal("KeyOrdered claimed without a clustered index")
+	}
+	if len(segmentRows(set, 0)) != 30 {
+		t.Fatal("rows missing")
+	}
+}

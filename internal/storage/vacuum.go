@@ -55,6 +55,11 @@ func (r *Relation) Vacuum(horizon int64) int64 {
 		}
 		ix.Tree = tree
 	}
+
+	// The compaction rewrote pages (new IDs, new row positions) without
+	// changing the write epoch; drop the columnar generation so the next
+	// scan rebuilds against the new heap layout.
+	r.segments.Store(nil)
 	return removed
 }
 
