@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite columnar-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-columnar bench-overload bench-baseline bench-compare clean
+.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite columnar-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-columnar bench-overload bench-wire bench-baseline bench-compare clean
 
 all: build test
 
@@ -52,7 +52,7 @@ columnar-suite:
 # Replay the checked-in fuzz corpora (testdata/fuzz/) as plain tests:
 # every past crasher and interesting input must stay green.
 fuzz-replay:
-	$(GO) test -run Fuzz ./internal/sql/ ./internal/core/ ./internal/engine/
+	$(GO) test -run Fuzz ./internal/sql/ ./internal/core/ ./internal/engine/ ./internal/proto/
 
 # Tier-1 verification: static checks, the full suite under the race
 # detector (chaos/resilience tests included), the engine suite across
@@ -86,10 +86,14 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Microbenchmarks of the batch execution path: allocation rate per row
-# (the vectorization win), time-to-first-batch (the streaming win), and
-# the morsel-driven degree sweep (the intra-node parallelism win).
+# (the vectorization win), time-to-first-batch (the streaming win), the
+# morsel-driven degree sweep (the intra-node parallelism win), and the
+# wire codecs (pooled gob drain allocations; binary columnar stream and
+# 16-in-flight multiplexing throughput).
 bench-micro:
 	$(GO) test -bench 'FirstBatch|Allocs|ParallelScanAgg' -benchmem -run=^$$ ./internal/engine/
+	$(GO) test -bench 'WireDrainAllocs' -benchmem -run=^$$ ./internal/wire/
+	$(GO) test -bench 'WireStream|WireMux' -benchmem -run=^$$ ./internal/proto/
 
 # Regenerate the checked-in benchmark baseline: the standard experiment
 # set (the five paper figures) in the quick configuration, as JSON. CI
@@ -123,6 +127,15 @@ bench-avp:
 # engages on the selective shape.
 bench-columnar:
 	$(GO) run ./cmd/apuama-bench -exp columnar -quick -quiet -json bench-columnar.json
+
+# Binary wire protocol study: gob vs binary columnar codec over a real
+# socket — single-stream rows/sec on a Q1-shaped result (cold and warm)
+# and aggregate queries/sec at 16 concurrent in-flight queries (16 gob
+# connections vs ONE multiplexed binary connection), as JSON for
+# plotting and CI diffing. The experiment itself fails below a 3x
+# single-stream or 5x in-flight speedup.
+bench-wire:
+	$(GO) run ./cmd/apuama-bench -exp wire -quick -quiet -json bench-wire.json
 
 # Result-cache experiment: cold vs warm vs shared-concurrent latency,
 # written as JSON for plotting.

@@ -31,6 +31,7 @@ import (
 	"apuama/internal/engine"
 	"apuama/internal/fault"
 	"apuama/internal/obs"
+	"apuama/internal/proto"
 	"apuama/internal/tpch"
 )
 
@@ -357,6 +358,9 @@ func (c *Cluster) Query(sqlText string) (*Result, error) {
 func (c *Cluster) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
 	sp := c.tracer.StartQuery(sqlText)
 	ctx = obs.WithSpan(ctx, sp)
+	if tp := obs.TransportFrom(ctx); tp != "" {
+		sp.Annotate("wire", tp) // which wire protocol delivered the query
+	}
 	t0 := time.Now()
 	res, err := c.ctl.QueryContext(ctx, sqlText)
 	c.mQueryDur.Observe(time.Since(t0))
@@ -405,6 +409,27 @@ func (c *Cluster) InjectFaults(i int, inj *FaultInjector) error {
 	}
 	c.eng.Procs()[i].InjectFaults(inj)
 	return nil
+}
+
+// AttachWireServer mirrors a binary wire server's transport counters
+// (frames, bytes, streams, cancels, negotiated version) into this
+// cluster's Stats snapshot. The daemon calls it after starting a
+// proto.Server over the cluster; passing nil detaches.
+func (c *Cluster) AttachWireServer(s *proto.Server) {
+	if s == nil {
+		c.eng.SetWireStats(func() core.WireStats { return core.WireStats{} })
+		return
+	}
+	c.eng.SetWireStats(func() core.WireStats {
+		w := s.Stats()
+		return core.WireStats{
+			Frames:       w.FramesIn + w.FramesOut,
+			Bytes:        w.BytesIn + w.BytesOut,
+			Streams:      w.Streams,
+			Cancels:      w.Cancels,
+			ProtoVersion: w.NegotiatedVersion,
+		}
+	})
 }
 
 // Metrics returns the cluster's metrics registry (always live; tracing

@@ -206,6 +206,10 @@ type Engine struct {
 	// m the pre-resolved metric handles mirroring it into Options.Metrics.
 	st engineStats
 	m  engineMetrics
+
+	// wireStats holds an optional func() WireStats provider merged into
+	// Snapshot when a wire server is attached.
+	wireStats atomic.Value
 }
 
 // Stats counts engine activity (exposed for experiments and tests).
@@ -239,6 +243,11 @@ type Stats struct {
 	SegmentsPruned       int64 // segments skipped via zone maps before scanning
 	SegmentsScanned      int64 // segments actually scanned by columnar scans
 	SegmentBytes         int64 // resident encoded segment bytes (gauge)
+	WireFrames           int64 // binary wire frames in + out (0 without an attached server)
+	WireBytes            int64 // binary wire bytes in + out
+	WireStreams          int64 // binary wire query streams opened
+	WireCancels          int64 // wire-level cancel frames honoured
+	WireProtoVersion     int64 // last handshake-negotiated frame-format version
 	BarrierWaits         time.Duration
 	// FallbackReasons buckets SVP-ineligible queries by stable reason
 	// class (see FallbackClass), keeping cardinality bounded.
@@ -318,6 +327,24 @@ func (e *Engine) Cache() *cache.Cache { return e.cache }
 // NetMeter exposes the engine's partial-result network meter.
 func (e *Engine) NetMeter() *costmodel.Meter { return e.net }
 
+// WireStats is the slice of Stats a wire server contributes; the server
+// lives above the engine, so it registers a provider rather than being
+// polled directly (keeping core free of a proto dependency).
+type WireStats struct {
+	Frames       int64
+	Bytes        int64
+	Streams      int64
+	Cancels      int64
+	ProtoVersion int64
+}
+
+// SetWireStats installs the provider Snapshot consults for the Wire*
+// fields (the facade wires the attached proto server in here). Safe for
+// concurrent use with Snapshot.
+func (e *Engine) SetWireStats(fn func() WireStats) {
+	e.wireStats.Store(fn)
+}
+
 // Snapshot returns a copy of the engine counters. Every scalar field is
 // read with an atomic load (writers never block a snapshot and vice
 // versa), and FallbackReasons is a fresh map the caller owns. The
@@ -332,6 +359,14 @@ func (e *Engine) Snapshot() Stats {
 		s.SegmentsScanned += scanned
 	}
 	s.SegmentBytes = e.db.SegmentBytes()
+	if fn, ok := e.wireStats.Load().(func() WireStats); ok {
+		w := fn()
+		s.WireFrames = w.Frames
+		s.WireBytes = w.Bytes
+		s.WireStreams = w.Streams
+		s.WireCancels = w.Cancels
+		s.WireProtoVersion = w.ProtoVersion
+	}
 	return s
 }
 

@@ -1,0 +1,135 @@
+package driver
+
+import (
+	"database/sql"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	apuama "apuama"
+	"apuama/internal/proto"
+)
+
+// startBothProtoCluster serves one real cluster through the sniffing
+// proto server, which speaks both the binary frame protocol and legacy
+// gob on the same listener.
+func startBothProtoCluster(t *testing.T) string {
+	t.Helper()
+	cfg := apuama.Config{Nodes: 2}
+	cfg.Cost = apuama.DefaultCost()
+	cfg.Cost.RealSleep = false
+	c, err := apuama.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadTPCH(0.001, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := proto.Serve("127.0.0.1:0", c, proto.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AttachWireServer(srv)
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+// renderRows scans every row of a query into an exact textual form:
+// floats render as their IEEE bit pattern, so the comparison is
+// bit-identical, not approximately-equal.
+func renderRows(t *testing.T, db *sql.DB, query string) string {
+	t.Helper()
+	rows, err := db.Query(query)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cols=%v\n", cols)
+	vals := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			t.Fatalf("%s: %v", query, err)
+		}
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			switch x := v.(type) {
+			case float64:
+				fmt.Fprintf(&b, "f:%016x", math.Float64bits(x))
+			case time.Time:
+				fmt.Fprintf(&b, "d:%s", x.Format("2006-01-02"))
+			case nil:
+				b.WriteString("null")
+			default:
+				fmt.Fprintf(&b, "%T:%v", v, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	return b.String()
+}
+
+// TestDifferentialBinaryVsGob is the transport oracle: the same queries
+// through ?proto=binary and ?proto=gob DSNs against ONE cluster must
+// produce bit-identical results — cold (first execution) and warm
+// (result-cache hits) — or the columnar codec has corrupted a value in
+// flight.
+func TestDifferentialBinaryVsGob(t *testing.T) {
+	addr := startBothProtoCluster(t)
+	gob, err := sql.Open("apuama", addr+"?proto=gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gob.Close()
+	bin, err := sql.Open("apuama", addr+"?proto=binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+
+	queries := []string{
+		"select count(*) from orders",
+		"select count(*), sum(l_quantity) from lineitem",
+		// Q1 shape: low-NDV strings, float aggregates, group by + order by.
+		`select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty,
+		   sum(l_extendedprice) as sum_base_price, avg(l_discount) as avg_disc,
+		   count(*) as count_order
+		 from lineitem where l_shipdate <= '1998-09-02'
+		 group by l_returnflag, l_linestatus
+		 order by l_returnflag, l_linestatus`,
+		// Wide row shipping: strings, floats, dates, many rows.
+		"select o_orderkey, o_custkey, o_totalprice, o_orderdate, o_orderpriority from orders order by o_orderkey",
+		// Selective filter (zone-map path) with arithmetic.
+		"select l_orderkey, l_extendedprice * (1 - l_discount) as revenue from lineitem where l_quantity >= 45 order by l_orderkey, revenue",
+		// Join across shipped partials.
+		`select n_name, count(*) from nation, region
+		 where n_regionkey = r_regionkey group by n_name order by n_name`,
+	}
+	for _, label := range []string{"cold", "warm"} {
+		for _, q := range queries {
+			got := renderRows(t, bin, q)
+			want := renderRows(t, gob, q)
+			if got != want {
+				t.Errorf("%s %q:\nbinary:\n%s\ngob:\n%s", label, q, got, want)
+			}
+			if strings.Count(got, "\n") < 2 {
+				t.Fatalf("%s %q returned no rows — oracle is vacuous", label, q)
+			}
+		}
+	}
+}

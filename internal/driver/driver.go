@@ -7,17 +7,23 @@
 //	db, err := sql.Open("apuama", "127.0.0.1:7654")
 //	rows, err := db.Query("select count(*) from orders")
 //
-// The DSN accepts optional cache directives as query parameters, applied
-// to every statement on the connection:
+// The DSN accepts optional query parameters, applied to every statement
+// on the connection:
 //
-//	sql.Open("apuama", "127.0.0.1:7654?nocache=1")    // bypass the result cache
-//	sql.Open("apuama", "127.0.0.1:7654?maxstale=8")   // accept results ≤ 8 writes stale
+//	sql.Open("apuama", "127.0.0.1:7654?nocache=1")     // bypass the result cache
+//	sql.Open("apuama", "127.0.0.1:7654?maxstale=8")    // accept results ≤ 8 writes stale
+//	sql.Open("apuama", "127.0.0.1:7654?proto=binary")  // pin the binary wire protocol
+//
+// proto selects the wire transport: auto (the default) tries the binary
+// columnar protocol and transparently falls back to gob against an old
+// server; binary and gob pin one transport.
 //
 // The dialect has no placeholder support; statements with bind arguments
 // are rejected.
 package driver
 
 import (
+	"context"
 	"database/sql"
 	"database/sql/driver"
 	"errors"
@@ -27,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"apuama/internal/proto"
 	"apuama/internal/sqltypes"
 	"apuama/internal/wire"
 )
@@ -39,30 +46,31 @@ func init() {
 type Driver struct{}
 
 // Open dials a wire server; the DSN is its host:port, optionally
-// followed by ?nocache=1 and/or ?maxstale=N cache directives.
+// followed by ?nocache=1, ?maxstale=N and/or ?proto=auto|binary|gob.
 func (d *Driver) Open(dsn string) (driver.Conn, error) {
-	addr, opt, err := parseDSN(dsn)
+	addr, opt, mode, err := parseDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
-	c, err := wire.Dial(addr)
+	c, err := proto.DialMode(addr, mode)
 	if err != nil {
 		return nil, err
 	}
 	return &conn{c: c, opt: opt}, nil
 }
 
-// parseDSN splits "host:port?k=v&..." into the dial address and the
-// connection's cache directives.
-func parseDSN(dsn string) (string, wire.QueryOptions, error) {
+// parseDSN splits "host:port?k=v&..." into the dial address, the
+// connection's cache directives and the wire transport mode.
+func parseDSN(dsn string) (string, wire.QueryOptions, proto.Mode, error) {
 	var opt wire.QueryOptions
+	mode := proto.ModeAuto
 	addr, rawQuery, found := strings.Cut(dsn, "?")
 	if !found {
-		return addr, opt, nil
+		return addr, opt, mode, nil
 	}
 	q, err := url.ParseQuery(rawQuery)
 	if err != nil {
-		return "", opt, fmt.Errorf("apuama: bad DSN parameters %q: %w", rawQuery, err)
+		return "", opt, mode, fmt.Errorf("apuama: bad DSN parameters %q: %w", rawQuery, err)
 	}
 	for k, vs := range q {
 		v := vs[len(vs)-1]
@@ -70,24 +78,29 @@ func parseDSN(dsn string) (string, wire.QueryOptions, error) {
 		case "nocache":
 			on, err := strconv.ParseBool(v)
 			if err != nil {
-				return "", opt, fmt.Errorf("apuama: bad nocache value %q", v)
+				return "", opt, mode, fmt.Errorf("apuama: bad nocache value %q", v)
 			}
 			opt.NoCache = on
 		case "maxstale":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil || n < 0 {
-				return "", opt, fmt.Errorf("apuama: bad maxstale value %q", v)
+				return "", opt, mode, fmt.Errorf("apuama: bad maxstale value %q", v)
 			}
 			opt.MaxStaleEpochs = n
+		case "proto":
+			mode, err = proto.ParseMode(v)
+			if err != nil {
+				return "", opt, mode, err
+			}
 		default:
-			return "", opt, fmt.Errorf("apuama: unknown DSN parameter %q", k)
+			return "", opt, mode, fmt.Errorf("apuama: unknown DSN parameter %q", k)
 		}
 	}
-	return addr, opt, nil
+	return addr, opt, mode, nil
 }
 
 type conn struct {
-	c   *wire.Client
+	c   *proto.Client
 	opt wire.QueryOptions
 }
 
@@ -107,7 +120,7 @@ func (c *conn) Begin() (driver.Tx, error) {
 func (c *conn) Ping() error { return c.c.Ping() }
 
 type stmt struct {
-	c     *wire.Client
+	c     *proto.Client
 	query string
 	opt   wire.QueryOptions
 }
@@ -132,7 +145,7 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if len(args) > 0 {
 		return nil, errors.New("apuama: bind arguments are not supported")
 	}
-	rd, err := s.c.QueryStreamOpt(s.query, s.opt)
+	rd, err := s.c.QueryStreamContext(context.Background(), s.query, s.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -147,11 +160,12 @@ func (r result) LastInsertId() (int64, error) {
 func (r result) RowsAffected() (int64, error) { return r.n, nil }
 
 // rows adapts a wire cursor to driver.Rows: each Next decodes at most
-// one chunk frame from the socket, so large results stream instead of
+// one batch frame from the socket, so large results stream instead of
 // being materialized client-side. database/sql keeps the connection
-// checked out until Close, which drains the cursor and frees it.
+// checked out until Close, which drains (gob) or cancels (binary) the
+// cursor and frees it.
 type rows struct {
-	rd *wire.RowReader
+	rd *proto.Rows
 }
 
 func (r *rows) Columns() []string { return r.rd.Cols() }

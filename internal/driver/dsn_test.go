@@ -4,6 +4,7 @@ import (
 	"database/sql"
 	"testing"
 
+	"apuama/internal/proto"
 	"apuama/internal/wire"
 )
 
@@ -12,6 +13,7 @@ func TestParseDSN(t *testing.T) {
 		dsn     string
 		addr    string
 		opt     wire.QueryOptions
+		mode    proto.Mode
 		wantErr bool
 	}{
 		{dsn: "127.0.0.1:7654", addr: "127.0.0.1:7654"},
@@ -23,6 +25,14 @@ func TestParseDSN(t *testing.T) {
 			dsn: "host:1?nocache=1&maxstale=3", addr: "host:1",
 			opt: wire.QueryOptions{NoCache: true, MaxStaleEpochs: 3},
 		},
+		{dsn: "host:1?proto=binary", addr: "host:1", mode: proto.ModeBinary},
+		{dsn: "host:1?proto=gob", addr: "host:1", mode: proto.ModeGob},
+		{dsn: "host:1?proto=auto", addr: "host:1"},
+		{
+			dsn: "host:1?proto=binary&nocache=1", addr: "host:1",
+			opt: wire.QueryOptions{NoCache: true}, mode: proto.ModeBinary,
+		},
+		{dsn: "host:1?proto=carrier-pigeon", wantErr: true},
 		{dsn: "host:1?nocache=maybe", wantErr: true},
 		{dsn: "host:1?maxstale=-2", wantErr: true},
 		{dsn: "host:1?maxstale=soon", wantErr: true},
@@ -30,7 +40,10 @@ func TestParseDSN(t *testing.T) {
 		{dsn: "host:1?nocache=%zz", wantErr: true},
 	}
 	for _, tc := range cases {
-		addr, opt, err := parseDSN(tc.dsn)
+		if tc.mode == "" {
+			tc.mode = proto.ModeAuto
+		}
+		addr, opt, mode, err := parseDSN(tc.dsn)
 		if tc.wantErr {
 			if err == nil {
 				t.Errorf("%q: expected error, got addr=%q opt=%+v", tc.dsn, addr, opt)
@@ -41,8 +54,9 @@ func TestParseDSN(t *testing.T) {
 			t.Errorf("%q: %v", tc.dsn, err)
 			continue
 		}
-		if addr != tc.addr || opt != tc.opt {
-			t.Errorf("%q: got (%q, %+v), want (%q, %+v)", tc.dsn, addr, opt, tc.addr, tc.opt)
+		if addr != tc.addr || opt != tc.opt || mode != tc.mode {
+			t.Errorf("%q: got (%q, %+v, %s), want (%q, %+v, %s)",
+				tc.dsn, addr, opt, mode, tc.addr, tc.opt, tc.mode)
 		}
 	}
 }

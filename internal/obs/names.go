@@ -92,4 +92,12 @@ const (
 	MPoolWait     = "apuama_pool_wait_seconds"     // connection-pool admission wait, labeled {node=...}
 	MNodeInflight = "apuama_node_inflight"         // gauge, labeled {node=...}
 	MFaultsDown   = "apuama_faults_injected_total" // labeled {node=..., kind=...}
+
+	// Binary wire protocol (internal/proto).
+	MWireFrames       = "apuama_wire_frames_total"  // frames in + out on binary connections
+	MWireBytes        = "apuama_wire_bytes_total"   // bytes in + out on binary connections
+	MWireStreams      = "apuama_wire_streams_total" // query streams opened
+	MWireCancels      = "apuama_wire_cancels_total" // wire-level cancel frames honoured
+	MWireProtoVersion = "apuama_wire_proto_version" // gauge: last handshake-negotiated version
+	MWireShip         = "apuama_wire_ship_seconds"  // header→trailer shipping time per stream
 )

@@ -1,0 +1,85 @@
+package proto
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"apuama/internal/wire"
+)
+
+// benchDrain streams one query and counts rows.
+func benchDrain(b *testing.B, c *Client, q string, want int) {
+	rows, err := c.QueryStreamContext(context.Background(), q, wire.QueryOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := rows.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	rows.Close()
+	if n != want {
+		b.Fatalf("drained %d rows, want %d", n, want)
+	}
+}
+
+func benchStream(b *testing.B, mode Mode) {
+	const rows = 40960
+	h := &fakeHandler{}
+	s, err := Serve("127.0.0.1:0", h, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := DialMode(s.Addr(), mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	q := fmt.Sprintf("select rows %d", rows)
+	benchDrain(b, c, q, rows) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDrain(b, c, q, rows)
+	}
+	b.SetBytes(rows)
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkWireStreamBinary / BenchmarkWireStreamGob drain a Q1-shaped
+// 40960-row stream through each codec — the microbenchmark behind the
+// -exp wire figure.
+func BenchmarkWireStreamBinary(b *testing.B) { benchStream(b, ModeBinary) }
+func BenchmarkWireStreamGob(b *testing.B)    { benchStream(b, ModeGob) }
+
+// BenchmarkWireMux16 is the 16-in-flight half of the -exp wire figure:
+// 16 workers issuing small queries through ONE multiplexed binary
+// connection; b.N counts individual queries.
+func BenchmarkWireMux16(b *testing.B) {
+	const rows, workers = 256, 16
+	h := &fakeHandler{}
+	s, err := Serve("127.0.0.1:0", h, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := DialMode(s.Addr(), ModeBinary)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	q := fmt.Sprintf("select rows %d", rows)
+	benchDrain(b, c, q, rows) // warm
+	b.ResetTimer()
+	b.SetParallelism(workers)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchDrain(b, c, q, rows)
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}

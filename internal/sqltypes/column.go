@@ -126,6 +126,10 @@ func (c *ColVec) EncodedBytes() int64 {
 
 // BuildColVec converts column col of rows into columnar form, choosing
 // the encoding and computing the zone map in one pass over the data.
+// The min/max tracking is specialized per kind — the generic Compare is
+// a measurable per-row cost on the wire encode path — falling back to
+// Compare only for the stray mixed-kind value so the ordering semantics
+// stay identical.
 func BuildColVec(kind Kind, rows []Row, col int) *ColVec {
 	c := &ColVec{Kind: kind, n: len(rows)}
 	var nulls []bool
@@ -135,37 +139,79 @@ func BuildColVec(kind Kind, rows []Row, col int) *ColVec {
 		}
 		nulls[i] = true
 	}
-	for i, r := range rows {
-		v := r[col]
-		if v.IsNull() {
-			markNull(i)
-		} else {
-			if c.Min.IsNull() || Compare(v, c.Min) < 0 {
+	// zone extends the zone map the slow generic way.
+	zone := func(v Value) {
+		if c.Min.IsNull() || Compare(v, c.Min) < 0 {
+			c.Min = v
+		}
+		if c.Max.IsNull() || Compare(v, c.Max) > 0 {
+			c.Max = v
+		}
+	}
+	// fast reports whether v and both current extremes are exactly the
+	// expected kind, so the typed comparison below agrees with Compare.
+	// The first non-NULL value (extremes still KindNull) and any stray
+	// mixed-kind value route through zone instead.
+	fast := func(v Value) bool {
+		return v.K == kind && c.Min.K == kind && c.Max.K == kind
+	}
+	switch kind {
+	case KindString:
+		for i, r := range rows {
+			v := r[col]
+			switch {
+			case v.IsNull():
+				markNull(i)
+			case !fast(v):
+				zone(v)
+			case v.S < c.Min.S:
 				c.Min = v
-			}
-			if c.Max.IsNull() || Compare(v, c.Max) > 0 {
+			case v.S > c.Max.S:
 				c.Max = v
 			}
 		}
-	}
-	c.Nulls = nulls
-
-	if kind == KindString {
+		c.Nulls = nulls
 		c.buildString(rows, col)
 		return c
-	}
-	if kind == KindFloat {
+	case KindFloat:
 		c.F64 = make([]float64, len(rows))
 		for i, r := range rows {
-			c.F64[i] = r[col].F
+			v := r[col]
+			switch {
+			case v.IsNull():
+				markNull(i)
+				continue
+			case !fast(v):
+				zone(v)
+			case v.F < c.Min.F:
+				c.Min = v
+			case v.F > c.Max.F:
+				c.Max = v
+			}
+			c.F64[i] = v.F
 		}
+		c.Nulls = nulls
+		return c
+	default:
+		c.I64 = make([]int64, len(rows))
+		for i, r := range rows {
+			v := r[col]
+			switch {
+			case v.IsNull():
+				markNull(i)
+				continue
+			case !fast(v):
+				zone(v)
+			case v.I < c.Min.I:
+				c.Min = v
+			case v.I > c.Max.I:
+				c.Max = v
+			}
+			c.I64[i] = v.I
+		}
+		c.Nulls = nulls
 		return c
 	}
-	c.I64 = make([]int64, len(rows))
-	for i, r := range rows {
-		c.I64[i] = r[col].I
-	}
-	return c
 }
 
 // buildString picks plain, dictionary or dictionary+RLE form for a

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"testing"
+
+	"apuama/internal/engine"
+	"apuama/internal/sqltypes"
+)
+
+// drainHandler serves a fixed int-only result of n rows — the shape
+// where the Close drain's pooled-batch reuse is measurable (no string
+// allocations drowning the signal).
+type drainHandler struct{ res *engine.Result }
+
+func newDrainHandler(rows int) *drainHandler {
+	res := &engine.Result{Cols: []string{"a", "b"}}
+	for i := 0; i < rows; i++ {
+		res.Rows = append(res.Rows, sqltypes.Row{
+			sqltypes.NewInt(int64(i)), sqltypes.NewInt(int64(i * 2)),
+		})
+	}
+	return &drainHandler{res: res}
+}
+
+func (h *drainHandler) Query(string) (*engine.Result, error) { return h.res, nil }
+func (h *drainHandler) Exec(string) (int64, error)           { return 0, nil }
+
+// TestCloseDrainAllocs pins the RowReader.Close drain path's pooled
+// reuse. Gob's decoder has an irreducible ~1 alloc/row floor (a decInstr
+// per inner-slice decode), but the row and value storage must come from
+// the reused pooled batch: decoding each chunk into a fresh Chunk costs
+// ~770 allocs per 256-row chunk (≈31k for this stream), the pooled
+// drain ~270 (≈11k). The bound sits between the two so a regression to
+// per-chunk fresh slices fails loudly.
+func TestCloseDrainAllocs(t *testing.T) {
+	const rows = 40 * DefaultChunkRows
+	h := newDrainHandler(rows)
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Warm the connection and the batch pool.
+	r, err := c.QueryStream("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	avg := testing.AllocsPerRun(10, func() {
+		r, err := c.QueryStream("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := 40 * 400.0; avg > limit {
+		t.Fatalf("drain allocations: %.0f per run, want <= %.0f", avg, limit)
+	}
+}
+
+// BenchmarkWireDrainAllocs reports the allocation profile of the
+// early-close drain for `make bench-micro` (-benchmem is the number
+// that matters).
+func BenchmarkWireDrainAllocs(b *testing.B) {
+	const rows = 40 * DefaultChunkRows
+	h := newDrainHandler(rows)
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.QueryStream("q")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Next(); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSendChunkedReusesChunk guards the send-side reuse indirectly: a
+// multi-chunk stream must still deliver every row exactly once with the
+// single reused Chunk value (field-reset bugs would surface as stale
+// trailers or repeated rows).
+func TestSendChunkedReusesChunk(t *testing.T) {
+	const rows = 5*DefaultChunkRows + 17
+	h := newDrainHandler(rows)
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for round := 0; round < 3; round++ {
+		r, err := c.QueryStream("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for {
+			row, err := r.Next()
+			if err != nil {
+				break
+			}
+			if row[0].I != int64(i) {
+				t.Fatalf("round %d row %d: got %d", round, i, row[0].I)
+			}
+			i++
+		}
+		if i != rows {
+			t.Fatalf("round %d: %d rows, want %d", round, i, rows)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

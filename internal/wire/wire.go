@@ -17,6 +17,7 @@ import (
 	"apuama/internal/admission"
 	"apuama/internal/cache"
 	"apuama/internal/engine"
+	"apuama/internal/obs"
 	"apuama/internal/sqltypes"
 )
 
@@ -79,11 +80,12 @@ type Chunk struct {
 // batch, not the whole result.
 const DefaultChunkRows = 256
 
-// encodeErr renders err for the wire: the verbatim message plus the
+// EncodeErr renders err for the wire: the verbatim message plus the
 // structured admission code and shed retry-after hint, rounded up to a
 // whole millisecond so a sub-millisecond hint is not truncated to "no
-// hint".
-func encodeErr(err error) (msg, code string, retryMs int64) {
+// hint". Exported for internal/proto, which carries the same triple in
+// its binary trailer frames.
+func EncodeErr(err error) (msg, code string, retryMs int64) {
 	msg = err.Error()
 	code, ra := admission.Code(err)
 	if ra > 0 {
@@ -94,11 +96,11 @@ func encodeErr(err error) (msg, code string, retryMs int64) {
 	return msg, code, retryMs
 }
 
-// decodeErr rebuilds a server error on the client: the typed admission
+// DecodeErr rebuilds a server error on the client: the typed admission
 // error when a structured code rode along (so errors.Is against
 // admission's sentinels holds across the socket), a plain string error
 // otherwise — including for codes this client does not know.
-func decodeErr(msg, code string, retryMs int64) error {
+func DecodeErr(msg, code string, retryMs int64) error {
 	if code != "" {
 		if err := admission.Remote(code, msg, time.Duration(retryMs)*time.Millisecond); err != nil {
 			return err
@@ -123,13 +125,14 @@ type ContextHandler interface {
 }
 
 // handleQuery routes a query to the handler, threading cache control
-// bits through the context when the handler supports it.
-func (s *Server) handleQuery(req Request) (*engine.Result, error) {
-	ch, ok := s.handler.(ContextHandler)
+// bits and the transport tag through the context when the handler
+// supports it.
+func handleQuery(h Handler, req Request) (*engine.Result, error) {
+	ch, ok := h.(ContextHandler)
 	if !ok {
-		return s.handler.Query(req.SQL)
+		return h.Query(req.SQL)
 	}
-	ctx := context.Background()
+	ctx := obs.WithTransport(context.Background(), "gob")
 	if req.NoCache || req.MaxStaleEpochs > 0 {
 		ctx = cache.WithControl(ctx, cache.Control{
 			NoCache:        req.NoCache,
@@ -197,6 +200,13 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	ServeConn(conn, s.handler)
+}
+
+// ServeConn serves the gob protocol on one connection until the peer
+// goes away, then closes it. Exported so internal/proto can hand a
+// sniffed legacy connection to the compatibility codec.
+func ServeConn(conn net.Conn, h Handler) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -210,9 +220,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		case "ping":
 			// empty response
 		case "query":
-			res, err := s.handleQuery(req)
+			res, err := handleQuery(h, req)
 			if err != nil {
-				resp.Err, resp.ErrCode, resp.RetryAfterMs = encodeErr(err)
+				resp.Err, resp.ErrCode, resp.RetryAfterMs = EncodeErr(err)
 			} else if req.Stream {
 				if err := sendChunked(enc, res); err != nil {
 					return
@@ -223,9 +233,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp.Rows = res.Rows
 			}
 		case "exec":
-			n, err := s.handler.Exec(req.SQL)
+			n, err := h.Exec(req.SQL)
 			if err != nil {
-				resp.Err, resp.ErrCode, resp.RetryAfterMs = encodeErr(err)
+				resp.Err, resp.ErrCode, resp.RetryAfterMs = EncodeErr(err)
 			} else {
 				resp.Affected = n
 			}
@@ -238,11 +248,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// sendChunked writes a query result as header + row frames + trailer.
+// sendChunked writes a query result as header + row frames + trailer,
+// reusing one Chunk value for every frame (gob re-transmits the fields
+// each message, so resetting them between encodes is all reuse needs —
+// the alternative, a fresh Chunk per frame, was measurable allocator
+// churn on large results).
 func sendChunked(enc *gob.Encoder, res *engine.Result) error {
 	if err := enc.Encode(&Response{Cols: res.Cols, Chunked: true}); err != nil {
 		return err
 	}
+	var ch Chunk
 	rows := res.Rows
 	for len(rows) > 0 {
 		part := rows
@@ -250,11 +265,13 @@ func sendChunked(enc *gob.Encoder, res *engine.Result) error {
 			part = part[:DefaultChunkRows]
 		}
 		rows = rows[len(part):]
-		if err := enc.Encode(&Chunk{Rows: part}); err != nil {
+		ch.Rows = part
+		if err := enc.Encode(&ch); err != nil {
 			return err
 		}
 	}
-	return enc.Encode(&Chunk{Last: true})
+	ch.Rows, ch.Last = nil, true
+	return enc.Encode(&ch)
 }
 
 // Client is one connection to a wire server. Methods are safe for
@@ -290,7 +307,7 @@ func (c *Client) roundTrip(req Request) (*Response, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, decodeErr(resp.Err, resp.ErrCode, resp.RetryAfterMs)
+		return nil, DecodeErr(resp.Err, resp.ErrCode, resp.RetryAfterMs)
 	}
 	return &resp, nil
 }
@@ -353,7 +370,7 @@ func (c *Client) QueryStreamOpt(sqlText string, opt QueryOptions) (*RowReader, e
 	}
 	if resp.Err != "" {
 		c.mu.Unlock()
-		return nil, decodeErr(resp.Err, resp.ErrCode, resp.RetryAfterMs)
+		return nil, DecodeErr(resp.Err, resp.ErrCode, resp.RetryAfterMs)
 	}
 	r := &RowReader{c: c, cols: resp.Cols}
 	if !resp.Chunked {
@@ -402,7 +419,7 @@ func (r *RowReader) Next() (sqltypes.Row, error) {
 		if ch.Err != "" {
 			r.done = true
 			r.c.mu.Unlock()
-			r.err = decodeErr(ch.Err, ch.ErrCode, ch.RetryAfterMs)
+			r.err = DecodeErr(ch.Err, ch.ErrCode, ch.RetryAfterMs)
 			return nil, r.err
 		}
 		if ch.Last {
@@ -430,17 +447,32 @@ func (r *RowReader) fail(err error) {
 
 // Close drains any unread frames so the connection is left in sync for
 // the next request. Safe to call more than once and after io.EOF.
+//
+// The drain decodes into one pooled batch instead of a fresh slice per
+// chunk: gob reuses a destination slice's backing array when its
+// capacity suffices, and drained rows are discarded immediately, so the
+// usual retention hazard of decode-in-place does not apply here. Fields
+// gob omits on the wire (zero values) are left untouched on decode, so
+// every reused field is reset each iteration.
 func (r *RowReader) Close() error {
-	for !r.done && r.err == nil {
+	if !r.done && r.err == nil {
+		b := sqltypes.GetBatch()
 		var ch Chunk
-		if err := r.c.dec.Decode(&ch); err != nil {
-			r.fail(err)
-			return err
+		for !r.done {
+			ch.Rows = b.Rows[:0]
+			ch.Last, ch.Err, ch.ErrCode, ch.RetryAfterMs = false, "", "", 0
+			if err := r.c.dec.Decode(&ch); err != nil {
+				r.fail(err)
+				sqltypes.PutBatch(b)
+				return err
+			}
+			b.Rows = ch.Rows // keep a grown backing array for the next decode
+			if ch.Last || ch.Err != "" {
+				r.done = true
+				r.c.mu.Unlock()
+			}
 		}
-		if ch.Last || ch.Err != "" {
-			r.done = true
-			r.c.mu.Unlock()
-		}
+		sqltypes.PutBatch(b)
 	}
 	if r.err == nil {
 		r.err = io.EOF // further Next calls report exhaustion
