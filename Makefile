@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite columnar-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-columnar bench-overload bench-wire bench-baseline bench-compare clean
+.PHONY: all build test tier1 vet staticcheck race race-cpu avp-suite columnar-suite mqo-suite fuzz-replay fuzz-smoke cover bench bench-micro bench-avp bench-cache bench-columnar bench-mqo bench-overload bench-wire bench-baseline bench-compare clean
 
 all: build test
 
@@ -49,6 +49,17 @@ avp-suite:
 columnar-suite:
 	$(GO) test -race -count=1 -run 'TestColumnar|TestSegments|TestOracleColumnar' ./internal/engine/ ./internal/storage/ ./internal/core/
 
+# The multi-query-optimization acceptance suite, by name and
+# race-enabled: the engine-level shared-scan differential sweep with
+# concurrent consumers and mid-scan attachers, the admission batching
+# window, the shared/unshared bit-identity oracle across node counts,
+# composers and interleaved writes, the concurrent sub-plan collapse
+# regression, and the node-death-with-consumers chaos plan. Runs inside
+# `make race` too; this target keeps the gate visible if the suite is
+# ever renamed or filtered.
+mqo-suite:
+	$(GO) test -race -count=1 -run 'TestSharedScan|TestBatchGate|TestOracleMQO|TestMQO|TestChaosMQO|TestSubplan' ./internal/engine/ ./internal/admission/ ./internal/core/ ./internal/sql/
+
 # Replay the checked-in fuzz corpora (testdata/fuzz/) as plain tests:
 # every past crasher and interesting input must stay green.
 fuzz-replay:
@@ -56,9 +67,9 @@ fuzz-replay:
 
 # Tier-1 verification: static checks, the full suite under the race
 # detector (chaos/resilience tests included), the engine suite across
-# -cpu settings, the named AVP and columnar acceptance suites, and
+# -cpu settings, the named AVP, columnar and MQO acceptance suites, and
 # corpus replay.
-tier1: vet staticcheck race race-cpu avp-suite columnar-suite fuzz-replay
+tier1: vet staticcheck race race-cpu avp-suite columnar-suite mqo-suite fuzz-replay
 
 # Short live fuzzing of each target (30s apiece) — a smoke pass, not a
 # campaign; run the targets individually with -fuzztime for longer.
@@ -136,6 +147,15 @@ bench-columnar:
 # single-stream or 5x in-flight speedup.
 bench-wire:
 	$(GO) run ./cmd/apuama-bench -exp wire -quick -quiet -json bench-wire.json
+
+# Multi-query-optimization study: 64 concurrent distinct-but-
+# overlapping clients, shared vs unshared, recording queries/minute and
+# physical scans per query, as JSON for plotting and CI diffing. The
+# experiment itself fails unless shared goodput is at least 2x unshared
+# and shared scans-per-query is under 1.0, and it bit-compares every
+# answer across the two sides.
+bench-mqo:
+	$(GO) run ./cmd/apuama-bench -exp mqo -quick -quiet -json BENCH_10.json
 
 # Result-cache experiment: cold vs warm vs shared-concurrent latency,
 # written as JSON for plotting.

@@ -169,6 +169,17 @@ type Config struct {
 	// prune work the filter cannot match. The heap stays the write-side
 	// store; results are bit-identical either way.
 	Columnar bool
+	// MQO enables multi-query optimization: concurrently admitted
+	// sub-queries over the same relation attach to one cooperative
+	// shared columnar scan, and overlapping decomposed sub-queries
+	// collapse onto one execution through canonical sub-plan
+	// fingerprints. Results are bit-identical with MQO on or off.
+	MQO bool
+	// MQOWindow is the admission batching window: the first arriving
+	// query of a burst is held up to this long so overlapping queries
+	// enter the engine together and land in one shared scan pass
+	// (default 3ms when MQO is on; disabled under brownout).
+	MQOWindow time.Duration
 	// GatherBudget bounds the in-flight partial-result batches buffered
 	// between each node's stream and the composer, per partition
 	// (backpressure on producers that outrun composition; default 8).
@@ -295,6 +306,8 @@ func Open(cfg Config) (*Cluster, error) {
 	opts.Parallelism = cfg.Parallelism
 	opts.AVPGranularity = cfg.AVPGranularity
 	opts.Columnar = cfg.Columnar
+	opts.MQO = cfg.MQO
+	opts.MQOWindow = cfg.MQOWindow
 	opts.QueryTimeout = cfg.QueryTimeout
 	opts.RetryLimit = cfg.RetryLimit
 	opts.RetryBackoff = cfg.RetryBackoff

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "fig2|fig3a|fig3b|fig4a|fig4b|all|ablations|freshness|strategy|skew|cache|overload|steal|columnar|wire")
+		exp      = flag.String("exp", "all", "fig2|fig3a|fig3b|fig4a|fig4b|all|ablations|freshness|strategy|skew|cache|overload|steal|columnar|wire|mqo")
 		sf       = flag.Float64("sf", 0, "TPC-H scale factor (0 = default)")
 		nodesArg = flag.String("nodes", "", "comma-separated node counts (default 1,2,4,8,16,32)")
 		repeats  = flag.Int("repeats", 0, "runs per isolated query (default 5)")
@@ -39,6 +39,8 @@ func main() {
 		par      = flag.Int("parallelism", 1, "intra-node morsel-driven degree per node engine (0 = auto, 1 = serial)")
 		avpGran  = flag.Int("avp-granularity", 0, "fine virtual partitions per configured node (0 = auto, 1 = coarse)")
 		columnar = flag.Bool("columnar", false, "enable the columnar segment store with zone-map pruning")
+		mqo      = flag.Bool("mqo", false, "enable multi-query optimization (shared scans + sub-plan sharing)")
+		mqoWin   = flag.Duration("mqo-window", 0, "admission batching window for MQO bursts (0 = 3ms default when -mqo)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 		trace    = flag.Bool("trace", false, "trace each TPC-H query once and print the per-phase latency breakdown")
 		jsonOut  = flag.String("json", "", "also write the figures as JSON to this file (for plotting/CI diffing)")
@@ -76,6 +78,8 @@ func main() {
 	cfg.Parallelism = *par
 	cfg.AVPGranularity = *avpGran
 	cfg.Columnar = *columnar
+	cfg.MQO = *mqo
+	cfg.MQOWindow = *mqoWin
 
 	if *trace {
 		if err := runTrace(cfg); err != nil {
@@ -126,6 +130,8 @@ func main() {
 		figs, err = one(experiments.ColumnarExperiment, cfg, progress)
 	case "wire":
 		figs, err = one(experiments.WireExperiment, cfg, progress)
+	case "mqo":
+		figs, err = one(experiments.MQOExperiment, cfg, progress)
 	default:
 		log.Fatalf("apuama-bench: unknown experiment %q", *exp)
 	}
@@ -162,6 +168,7 @@ type benchReport struct {
 	Parallelism int                   `json:"parallelism"`
 	AVPGran     int                   `json:"avp_granularity"`
 	Columnar    bool                  `json:"columnar"`
+	MQO         bool                  `json:"mqo"`
 	Figures     []*experiments.Figure `json:"figures"`
 }
 
@@ -177,6 +184,7 @@ func writeJSON(path, exp string, cfg experiments.Config, figs []*experiments.Fig
 		Parallelism: cfg.Parallelism,
 		AVPGran:     cfg.AVPGranularity,
 		Columnar:    cfg.Columnar,
+		MQO:         cfg.MQO,
 		Figures:     figs,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -103,6 +103,8 @@ func main() {
 		par      = flag.Int("parallelism", 0, "intra-node morsel-driven degree per node engine (0 = auto, 1 = serial)")
 		avpGran  = flag.Int("avp-granularity", 0, "fine virtual partitions per configured node (0 = auto, 1 = coarse one-range-per-node)")
 		columnar = flag.Bool("columnar", false, "enable the columnar segment store with zone-map pruning")
+		mqo      = flag.Bool("mqo", false, "enable multi-query optimization: cooperative shared scans and common sub-plan sharing")
+		mqoWin   = flag.Duration("mqo-window", 0, "admission batching window for MQO bursts (0 = 3ms default when -mqo)")
 
 		maxConc   = flag.Int("max-concurrent", 0, "admission gate capacity in weighted query slots (0 = gate off)")
 		maxQueue  = flag.Int("max-queue", 0, "admission wait-queue bound (default 4 x -max-concurrent)")
@@ -127,6 +129,7 @@ func main() {
 	cfg := apuama.Config{
 		Nodes: *nodes, DisableSVP: *baseline, UseAVP: *avp, MaxStaleness: *stale,
 		Parallelism: *par, AVPGranularity: *avpGran, Columnar: *columnar,
+		MQO: *mqo, MQOWindow: *mqoWin,
 		MaxConcurrent: *maxConc, MaxQueue: *maxQueue, MemoryBudget: *memBudget,
 		Brownout: *brownout, SlowKillMultiple: *slowKill,
 		Trace: *trace, SlowLogSize: *slowLogSize, SlowQueryThreshold: *slowerThan,

@@ -96,6 +96,17 @@ type Config struct {
 	// (default 16).
 	BrownoutStale int64
 
+	// BatchWindow enables the MQO batching window (0 disables): the
+	// first arrival after a quiet period holds for up to this long so
+	// the burst behind it lands inside one shared-scan pass. The window
+	// releases early at BatchDepth arrivals, and switches itself off at
+	// brownout level >= 1 — under overload, added latency is the wrong
+	// trade.
+	BatchWindow time.Duration
+	// BatchDepth releases an open batching window as soon as this many
+	// queries have joined it (default 8).
+	BatchDepth int
+
 	// KillMultiple × weight × ClassBudget is the wall-clock bound past
 	// which the slow-query killer cancels a tracked query (0 disables).
 	KillMultiple float64
@@ -110,7 +121,8 @@ type Config struct {
 
 // Enabled reports whether any mechanism is configured.
 func (c Config) Enabled() bool {
-	return c.MaxConcurrent > 0 || c.MemoryBudget > 0 || c.Brownout || c.KillMultiple > 0
+	return c.MaxConcurrent > 0 || c.MemoryBudget > 0 || c.Brownout ||
+		c.KillMultiple > 0 || c.BatchWindow > 0
 }
 
 // withDefaults resolves the defaultable knobs (the package's equivalent
@@ -145,6 +157,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClassBudget <= 0 {
 		c.ClassBudget = time.Second
+	}
+	if c.BatchDepth <= 0 {
+		c.BatchDepth = 8
 	}
 	return c
 }
@@ -195,6 +210,14 @@ type Controller struct {
 	raises, clears              int64
 	slowKills, memAborts        int64
 
+	bmu          sync.Mutex
+	batchOpen    bool
+	batchJoined  int           // arrivals in the open window
+	batchRelease chan struct{} // closed when the window releases
+	batchTimer   *time.Timer
+	batched      int64 // queries that held in a window
+	batchWindows int64 // windows opened
+
 	memMu   sync.Mutex
 	memUsed int64
 	memPeak int64
@@ -215,6 +238,8 @@ type Controller struct {
 	mWait        *obs.Histogram
 	mLevel       *obs.Gauge
 	mMemReserved *obs.Gauge
+	mBatched     *obs.Counter
+	mBatchWins   *obs.Counter
 }
 
 // trackedQuery is one running query as the slow-query killer sees it.
@@ -245,6 +270,8 @@ func New(cfg Config) *Controller {
 		mWait:        cfg.Metrics.Histogram(obs.MAdmissionWait),
 		mLevel:       cfg.Metrics.Gauge(obs.MAdmissionBrownout),
 		mMemReserved: cfg.Metrics.Gauge(obs.MAdmissionMemReserved),
+		mBatched:     cfg.Metrics.Counter(obs.MAdmissionBatched),
+		mBatchWins:   cfg.Metrics.Counter(obs.MAdmissionBatchWins),
 	}
 	if cfg.KillMultiple > 0 || cfg.Brownout {
 		c.wg.Add(1)
@@ -271,6 +298,9 @@ func (c *Controller) Close() {
 	}
 	c.queue = nil
 	c.mu.Unlock()
+	c.bmu.Lock()
+	c.releaseBatchLocked()
+	c.bmu.Unlock()
 	close(c.stop)
 	c.wg.Wait()
 }
@@ -598,6 +628,78 @@ func (c *Controller) StaleFloor() int64 {
 // thing to go when capacity is the bottleneck.
 func (c *Controller) HedgingDisabled() bool { return c.Level() >= 3 }
 
+// BatchGate holds a query in the MQO batching window so concurrent
+// arrivals overlap inside one shared-scan pass. The first arrival after
+// a quiet period opens a window and everyone holds until it releases —
+// at BatchWindow elapsed, at BatchDepth arrivals, or when the caller's
+// context ends (the query proceeds either way; the gate only delays,
+// it never refuses). Disabled on nil controllers, when BatchWindow is
+// unset, and at brownout level >= 1: under overload the queue itself
+// provides the overlap, and deliberate latency would feed the ladder's
+// own pressure signal.
+func (c *Controller) BatchGate(ctx context.Context) {
+	if c == nil || c.cfg.BatchWindow <= 0 || c.Level() >= 1 {
+		return
+	}
+	c.bmu.Lock()
+	if c.closedBatchLocked() {
+		c.bmu.Unlock()
+		return
+	}
+	if !c.batchOpen {
+		c.batchOpen = true
+		c.batchJoined = 0
+		rel := make(chan struct{})
+		c.batchRelease = rel
+		c.batchWindows++
+		c.mBatchWins.Inc()
+		c.batchTimer = time.AfterFunc(c.cfg.BatchWindow, func() {
+			c.bmu.Lock()
+			if c.batchRelease == rel {
+				c.releaseBatchLocked()
+			}
+			c.bmu.Unlock()
+		})
+	}
+	c.batchJoined++
+	c.batched++
+	c.mBatched.Inc()
+	rel := c.batchRelease
+	if c.batchJoined >= c.cfg.BatchDepth {
+		c.releaseBatchLocked()
+		c.bmu.Unlock()
+		return
+	}
+	c.bmu.Unlock()
+	select {
+	case <-rel:
+	case <-ctx.Done():
+	}
+}
+
+// closedBatchLocked samples the controller's closed flag (held under
+// c.mu) without ordering bmu inside mu: a racy read is fine here — the
+// only consequence of a stale false is one last, timer-bounded window.
+func (c *Controller) closedBatchLocked() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// releaseBatchLocked (bmu held) releases the open window's holders.
+func (c *Controller) releaseBatchLocked() {
+	if !c.batchOpen {
+		return
+	}
+	c.batchOpen = false
+	if c.batchTimer != nil {
+		c.batchTimer.Stop()
+		c.batchTimer = nil
+	}
+	close(c.batchRelease)
+	c.batchRelease = nil
+}
+
 // sweeper drives the clocks traffic doesn't: slow-query kills and
 // brownout decay after the last release (without it, a drained gate
 // would stay browned out until the next query).
@@ -682,6 +784,8 @@ type Stats struct {
 	MemPeak        int64 // high-water mark of reserved bytes
 	InUse          int   // admitted weight currently holding slots
 	QueueDepth     int   // waiters currently queued
+	Batched        int64 // queries held in an MQO batching window
+	BatchWindows   int64 // batching windows opened
 }
 
 // Snapshot returns the subsystem's counters (zero value on nil).
@@ -707,5 +811,9 @@ func (c *Controller) Snapshot() Stats {
 	s.MemReserved = c.memUsed
 	s.MemPeak = c.memPeak
 	c.memMu.Unlock()
+	c.bmu.Lock()
+	s.Batched = c.batched
+	s.BatchWindows = c.batchWindows
+	c.bmu.Unlock()
 	return s
 }

@@ -92,19 +92,21 @@ func ControlFrom(ctx context.Context) Control {
 // Stats is a point-in-time view of cache activity, exposed through
 // Cluster.CacheStats and the daemon's /debug/cache endpoint.
 type Stats struct {
-	Hits        int64 // full-result lookups served from cache
-	Misses      int64 // full-result lookups that fell through
-	StaleHits   int64 // hits served from behind the head epoch
-	Shares      int64 // queries that rode another's in-flight execution
-	Fills       int64 // composed results inserted
-	Entries     int64 // resident composed results
-	Bytes       int64 // approximate resident bytes, both layers
-	Evictions   int64 // entries evicted by the entry/byte caps
-	Expired     int64 // entries dropped at their TTL
-	PartialHits int64 // partitions served from the partial cache
-	PartialMiss int64 // partition probes that dispatched for real
-	PartialFill int64 // partition results inserted
-	PartialEnts int64 // resident partition entries
+	Hits          int64 // full-result lookups served from cache
+	Misses        int64 // full-result lookups that fell through
+	StaleHits     int64 // hits served from behind the head epoch
+	Shares        int64 // queries that rode another's in-flight execution
+	Fills         int64 // composed results inserted
+	Entries       int64 // resident composed results
+	Bytes         int64 // approximate resident bytes, both layers
+	Evictions     int64 // entries evicted by the entry/byte caps
+	Expired       int64 // entries dropped at their TTL
+	FlightCancels int64 // singleflight followers cancelled mid-wait
+	PartialHits   int64 // partitions served from the partial cache
+	PartialMiss   int64 // partition probes that dispatched for real
+	PartialFill   int64 // partition results inserted
+	PartialShares int64 // partitions joined onto an in-flight leader
+	PartialEnts   int64 // resident partition entries
 }
 
 // Cache is the process-wide query cache: composed results, in-flight
@@ -116,19 +118,25 @@ type Cache struct {
 	results  *store
 	partials *store // nil when Config.DisablePartial
 
-	fmu     sync.Mutex
-	flights map[flightKey]*flightCall
+	fmu      sync.Mutex
+	flights  map[flightKey]*flightCall
+	pflights map[pflightKey]*pflightCall
 
-	mFills *obs.Counter // registry mirror of fills (nil-safe)
+	mFills    *obs.Counter // registry mirror of fills (nil-safe)
+	mFCancels *obs.Counter // registry mirror of flightCancels
+	mPFills   *obs.Counter // registry mirror of pFills
+	mPShares  *obs.Counter // registry mirror of pShares
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	staleHits atomic.Int64
 	shares    atomic.Int64
 	fills     atomic.Int64
+	fCancels  atomic.Int64
 	pHits     atomic.Int64
 	pMiss     atomic.Int64
 	pFills    atomic.Int64
+	pShares   atomic.Int64
 }
 
 // New builds a cache sized by cfg, mirroring occupancy and eviction
@@ -158,11 +166,15 @@ func New(cfg Config, reg *obs.Registry) *Cache {
 		entries:   reg.Gauge(obs.MCacheEntries),
 	})
 	return &Cache{
-		cfg:      cfg,
-		results:  results,
-		partials: partials,
-		flights:  map[flightKey]*flightCall{},
-		mFills:   reg.Counter(obs.MCacheFills),
+		cfg:       cfg,
+		results:   results,
+		partials:  partials,
+		flights:   map[flightKey]*flightCall{},
+		pflights:  map[pflightKey]*pflightCall{},
+		mFills:    reg.Counter(obs.MCacheFills),
+		mFCancels: reg.Counter(obs.MCacheFlightCancels),
+		mPFills:   reg.Counter(obs.MCachePartialFills),
+		mPShares:  reg.Counter(obs.MCachePartialShares),
 	}
 }
 
@@ -263,6 +275,7 @@ func (c *Cache) FillPartial(fp sql.Fingerprint, lo, hi, epoch int64, rows []sqlt
 		return
 	}
 	c.pFills.Add(1)
+	c.mPFills.Inc()
 	c.partials.put(ckey{fp: uint64(fp), lo: lo, hi: hi, epoch: epoch}, rows, rowsSize(rows))
 }
 
@@ -294,14 +307,16 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	s := Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		StaleHits:   c.staleHits.Load(),
-		Shares:      c.shares.Load(),
-		Fills:       c.fills.Load(),
-		PartialHits: c.pHits.Load(),
-		PartialMiss: c.pMiss.Load(),
-		PartialFill: c.pFills.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		StaleHits:     c.staleHits.Load(),
+		Shares:        c.shares.Load(),
+		Fills:         c.fills.Load(),
+		FlightCancels: c.fCancels.Load(),
+		PartialHits:   c.pHits.Load(),
+		PartialMiss:   c.pMiss.Load(),
+		PartialFill:   c.pFills.Load(),
+		PartialShares: c.pShares.Load(),
 	}
 	s.Entries = c.results.len()
 	s.Bytes = c.results.bytes()

@@ -2,10 +2,12 @@ package cache
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"apuama/internal/engine"
 	"apuama/internal/sql"
+	"apuama/internal/sqltypes"
 )
 
 // flightKey identifies one in-flight execution: identical queries at
@@ -47,6 +49,8 @@ func (c *Cache) Do(ctx context.Context, fp sql.Fingerprint, epoch int64, fn func
 			c.shares.Add(1)
 			return call.res, true, call.err
 		case <-ctx.Done():
+			c.fCancels.Add(1)
+			c.mFCancels.Inc()
 			return nil, false, ctx.Err()
 		}
 	}
@@ -65,4 +69,99 @@ func (c *Cache) Do(ctx context.Context, fp sql.Fingerprint, epoch int64, fn func
 	}()
 	call.res, call.err = fn()
 	return call.res, false, call.err
+}
+
+// Partition-level singleflight: MQO's second sharing layer. Where Do
+// collapses whole statements, these collapse one partition's decomposed
+// sub-query across *different* parent statements — the key is the
+// canonical sub-plan fingerprint plus the VPA range and epoch, exactly
+// the partial-cache key, so any two queries whose decomposition lands on
+// the same (sub-plan, range, snapshot) execute that partition once.
+//
+// The protocol is split so the engine's gather loop stays in charge:
+// JoinPartialFlight is called per cold partition; the first caller
+// becomes the leader (leader=true, wait=nil) and owes a matching
+// FinishPartialFlight (success) or AbortPartialFlight (any other exit).
+// Followers get leader=false and a wait function that blocks for the
+// leader's rows; an aborted flight surfaces ErrPartialFlightAborted and
+// the follower re-executes its partition itself — sharing is an
+// optimization, never a correctness dependency.
+
+// ErrPartialFlightAborted is returned by a follower's wait when the
+// leader gave up without publishing rows (failure, cancellation, or
+// engine shutdown). The follower should fall back to executing the
+// partition directly.
+var ErrPartialFlightAborted = errors.New("cache: partial flight aborted by leader")
+
+type pflightKey struct {
+	fp     sql.Fingerprint
+	lo, hi int64
+	epoch  int64
+}
+
+type pflightCall struct {
+	done chan struct{}
+	rows []sqltypes.Row
+	err  error
+}
+
+// JoinPartialFlight registers interest in one partition's sub-query.
+// On a nil or flight-less cache every caller is its own leader (with a
+// nil wait function and no Finish/Abort obligation — both no-op).
+func (c *Cache) JoinPartialFlight(fp sql.Fingerprint, lo, hi, epoch int64) (leader bool, wait func(context.Context) ([]sqltypes.Row, error)) {
+	if c == nil {
+		return true, nil
+	}
+	key := pflightKey{fp: fp, lo: lo, hi: hi, epoch: epoch}
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if call, ok := c.pflights[key]; ok {
+		c.pShares.Add(1)
+		c.mPShares.Inc()
+		return false, func(ctx context.Context) ([]sqltypes.Row, error) {
+			select {
+			case <-call.done:
+				return call.rows, call.err
+			case <-ctx.Done():
+				c.fCancels.Add(1)
+				c.mFCancels.Inc()
+				return nil, ctx.Err()
+			}
+		}
+	}
+	c.pflights[key] = &pflightCall{done: make(chan struct{})}
+	return true, nil
+}
+
+// FinishPartialFlight publishes a leader's partition rows to its
+// followers and retires the flight. The rows are shared and must be
+// treated as immutable by every consumer.
+func (c *Cache) FinishPartialFlight(fp sql.Fingerprint, lo, hi, epoch int64, rows []sqltypes.Row) {
+	c.settlePartialFlight(fp, lo, hi, epoch, rows, nil)
+}
+
+// AbortPartialFlight retires a leader's flight without a result;
+// waiting followers receive ErrPartialFlightAborted and re-execute.
+// Safe to call for an already-finished flight (no-op), so leaders can
+// defer it unconditionally.
+func (c *Cache) AbortPartialFlight(fp sql.Fingerprint, lo, hi, epoch int64) {
+	c.settlePartialFlight(fp, lo, hi, epoch, nil, ErrPartialFlightAborted)
+}
+
+func (c *Cache) settlePartialFlight(fp sql.Fingerprint, lo, hi, epoch int64, rows []sqltypes.Row, err error) {
+	if c == nil {
+		return
+	}
+	key := pflightKey{fp: fp, lo: lo, hi: hi, epoch: epoch}
+	c.fmu.Lock()
+	call, ok := c.pflights[key]
+	if ok {
+		delete(c.pflights, key)
+	}
+	c.fmu.Unlock()
+	if !ok {
+		return
+	}
+	call.rows, call.err = rows, err
+	close(call.done)
 }

@@ -29,6 +29,10 @@ import (
 //
 // All three are no-ops when admission is disabled (e.adm == nil).
 func (e *Engine) admitAndRun(ctx context.Context, sel *sql.SelectStmt, usePartial bool) (*engine.Result, int64, error) {
+	// MQO batching window: hold briefly so a burst of overlapping
+	// queries enters the engine together and lands in one shared scan
+	// pass. Nil-safe, off when unconfigured, and off under brownout.
+	e.adm.BatchGate(ctx)
 	if e.adm == nil {
 		return e.runSVP(ctx, sel, usePartial, nil)
 	}

@@ -270,4 +270,26 @@ func TestCacheMetricsMirrored(t *testing.T) {
 	if got := reg.Gauge(obs.MCacheEntries).Value(); got < 1 {
 		t.Errorf("%s = %d, want >= 1", obs.MCacheEntries, got)
 	}
+	// Every apuama_cache_* counter must agree with its engine Snapshot
+	// mirror — the flight/partial family included, so dashboards built
+	// on either source never diverge.
+	for _, pair := range []struct {
+		name string
+		snap int64
+	}{
+		{obs.MCacheHits, st.CacheHits},
+		{obs.MCacheMisses, st.CacheMisses},
+		{obs.MCacheFills, st.CacheFills},
+		{obs.MCacheEvictions, st.CacheEvictions},
+		{obs.MCacheExpired, st.CacheExpired},
+		{obs.MCacheShared, st.CacheShared},
+		{obs.MCacheFlightCancels, st.CacheFlightCancels},
+		{obs.MCachePartialHits, st.CachePartialHits},
+		{obs.MCachePartialFills, st.CachePartialFills},
+		{obs.MCachePartialShares, st.CachePartialShares},
+	} {
+		if got := reg.Counter(pair.name).Value(); got != pair.snap {
+			t.Errorf("parity: %s = %d, engine snapshot mirror %d", pair.name, got, pair.snap)
+		}
+	}
 }

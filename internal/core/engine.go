@@ -131,6 +131,22 @@ type Options struct {
 	// simulated IO/CPU charged for pruned segments changes.
 	Columnar bool
 
+	// MQO enables multi-query optimization: cooperative shared scans
+	// in the node engines (concurrent queries over one relation and
+	// snapshot share a single physical segment pass), canonical
+	// sub-plan fingerprints for the partial cache and the
+	// partition-level singleflight (overlapping decomposed sub-queries
+	// from different parent statements execute each partition once),
+	// and the admission-side batching window that makes bursts overlap.
+	// Results are IEEE-bit-identical with MQO off — only the work
+	// performed changes.
+	MQO bool
+	// MQOWindow is the admission batching window applied when MQO is on
+	// (default 3ms; ignored when MQO is off). It is threaded into
+	// Admission.BatchWindow, which releases early on queue depth and
+	// switches itself off under brownout.
+	MQOWindow time.Duration
+
 	// Metrics, when set, mirrors every engine counter into the registry
 	// and attributes per-phase latency (barrier, dispatch, sub-query,
 	// gather, compose) to histograms. Nil disables mirroring at zero
@@ -171,6 +187,12 @@ func (o Options) withDefaults() Options {
 	if o.GatherBudget <= 0 {
 		o.GatherBudget = defaultGatherBudget
 	}
+	if o.MQO {
+		if o.MQOWindow == 0 {
+			o.MQOWindow = defaultMQOWindow
+		}
+		o.Admission.BatchWindow = o.MQOWindow
+	}
 	return o
 }
 
@@ -186,6 +208,11 @@ const (
 	// defaultGatherBudget is the per-partition in-flight batch bound of
 	// the streaming gather (Options.GatherBudget).
 	defaultGatherBudget = 8
+	// defaultMQOWindow is the admission batching window MQO applies
+	// when Options.MQOWindow is unset: long enough that a dashboard
+	// burst lands in one shared pass, short enough to be invisible
+	// against typical OLAP latency.
+	defaultMQOWindow = 3 * time.Millisecond
 )
 
 // Engine is the Apuama Engine: the Cluster Administrator of Fig. 1(b).
@@ -239,6 +266,15 @@ type Stats struct {
 	CacheShared          int64 // queries that shared another's in-flight execution
 	CachePartialHits     int64 // partitions served from the partial cache (no dispatch)
 	CachePartialMisses   int64 // partition probes that dispatched for real
+	CacheFills           int64 // composed results inserted into the cache
+	CacheEvictions       int64 // cache entries evicted by the entry/byte caps
+	CacheExpired         int64 // cache entries dropped at their TTL
+	CacheFlightCancels   int64 // singleflight followers cancelled mid-wait
+	CachePartialFills    int64 // partition results inserted into the partial cache
+	CachePartialShares   int64 // partitions joined onto an in-flight leader (MQO)
+	SharedScanAttaches   int64 // consumers attached to a shared-scan coordinator
+	SharedScanSegments   int64 // segments physically scanned by shared-scan drivers
+	SharedScanDeliveries int64 // consumer-segments served from shared passes
 	SegmentsBuilt        int64 // column segments materialized from the heap
 	SegmentsPruned       int64 // segments skipped via zone maps before scanning
 	SegmentsScanned      int64 // segments actually scanned by columnar scans
@@ -275,8 +311,11 @@ func New(db *engine.Database, nodes []*engine.Node, catalog *Catalog, opts Optio
 	}
 	e.st.wire(opts.Metrics)
 	// Columnar is a database-wide planner switch (segments live on the
-	// shared relations); set it before any node serves a query.
+	// shared relations); set it before any node serves a query. MQO
+	// likewise: it swaps eligible columnar scans for shared-scan
+	// consumers in every node planner.
 	db.SetColumnar(opts.Columnar)
+	db.SetMQO(opts.MQO)
 	for _, nd := range nodes {
 		if opts.Parallelism != 0 {
 			// Make the degree the node's default too, so pass-through
@@ -357,8 +396,23 @@ func (e *Engine) Snapshot() Stats {
 		s.SegmentsBuilt += built
 		s.SegmentsPruned += pruned
 		s.SegmentsScanned += scanned
+		attached, scans, deliveries := p.Node().SharedScanStats()
+		s.SharedScanAttaches += attached
+		s.SharedScanSegments += scans
+		s.SharedScanDeliveries += deliveries
 	}
 	s.SegmentBytes = e.db.SegmentBytes()
+	// The cache-internal counters (fills, evictions, flight activity)
+	// live in the cache like the segment counters live on the nodes;
+	// pull them at snapshot time so Stats mirrors every apuama_cache_*
+	// metric the registry sees.
+	cs := e.cache.Stats()
+	s.CacheFills = cs.Fills
+	s.CacheEvictions = cs.Evictions
+	s.CacheExpired = cs.Expired
+	s.CacheFlightCancels = cs.FlightCancels
+	s.CachePartialFills = cs.PartialFill
+	s.CachePartialShares = cs.PartialShares
 	if fn, ok := e.wireStats.Load().(func() WireStats); ok {
 		w := fn()
 		s.WireFrames = w.Frames
@@ -675,7 +729,15 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	usePartial = usePartial && e.cache.PartialEnabled()
 	var partialFP sql.Fingerprint
 	if usePartial {
-		partialFP = sql.FingerprintStmt(rw.Partial)
+		if e.opts.MQO {
+			// MQO keys partials by the canonical *sub-plan* form, so
+			// overlapping decomposed sub-queries from syntactically
+			// different parents land on one key — the partial cache and
+			// the partition flights below collapse them.
+			partialFP = sql.SubplanFingerprint(rw.Partial)
+		} else {
+			partialFP = sql.FingerprintStmt(rw.Partial)
+		}
 	}
 	sch := newFineScheduler(ranges, n)
 	cachedRows := make([][]sqltypes.Row, nParts)
@@ -692,6 +754,46 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 			}
 			e.st.cachePartialMisses.Inc()
 		}
+	}
+
+	// Partition-level singleflight (MQO): for each still-cold partition,
+	// the first concurrent query whose sub-plan decomposition lands on
+	// (partialFP, range, snapshot) becomes the partition's leader and
+	// executes it normally; every other query joins as a follower — the
+	// partition leaves its scheduler queue and a waiter goroutine feeds
+	// the leader's published rows into the gather as a synthetic
+	// attempt. A leader that exits without publishing aborts its flights
+	// (deferred below), and an aborted follower re-executes the
+	// partition itself: sharing is an optimization, never a correctness
+	// dependency. Bit-identity holds because followers receive exactly
+	// the rows the leader's attempt streamed, committed in the same
+	// partition-index order.
+	var leaders []bool
+	var followerWait []func(context.Context) ([]sqltypes.Row, error)
+	followers := 0
+	if usePartial && e.opts.MQO {
+		leaders = make([]bool, nParts)
+		followerWait = make([]func(context.Context) ([]sqltypes.Row, error), nParts)
+		for i := range ranges {
+			if cachedParts[i] {
+				continue
+			}
+			lead, wait := e.cache.JoinPartialFlight(partialFP, ranges[i][0], ranges[i][1], snapshot)
+			if lead {
+				leaders[i] = true
+				continue
+			}
+			followerWait[i] = wait
+			sch.markDone(i)
+			followers++
+		}
+		defer func() {
+			for i, l := range leaders {
+				if l {
+					e.cache.AbortPartialFlight(partialFP, ranges[i][0], ranges[i][1], snapshot)
+				}
+			}
+		}()
 	}
 
 	// alive mirrors procs by worker slot; the scheduler nils a slot when
@@ -845,6 +947,65 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	for w, p := range procs {
 		go worker(w, p, firsts[w])
 	}
+	// Follower waiters: one goroutine per flight-joined partition feeds
+	// the leader's rows into the gather as a synthetic attempt. If the
+	// leader aborts, the follower re-executes the partition itself on
+	// the least-loaded live nodes (failing over once per live node like
+	// a requeue would).
+	runFollower := func(idx int, wait func(context.Context) ([]sqltypes.Row, error)) {
+		attempt := attemptSeq.Add(1)
+		rows, werr := wait(workCtx)
+		if werr == nil {
+			b := sqltypes.GetBatch()
+			b.Rows = append(b.Rows, rows...)
+			if send(gatherMsg{idx: idx, attempt: attempt, batch: b}) {
+				send(gatherMsg{idx: idx, attempt: attempt, fin: true})
+			}
+			return
+		}
+		if workCtx.Err() != nil {
+			return
+		}
+		sub := rw.chunkQuery(ranges[idx][0], ranges[idx][1])
+		var last *NodeProcessor
+		for tries := 0; tries < len(e.procs); tries++ {
+			p := e.pickLeastLoadedExcept(last)
+			if p == nil {
+				break
+			}
+			attempt = attemptSeq.Add(1)
+			e.st.subQueries.Inc()
+			p.Node().Meter().Charge(cfg.NetMessage)
+			t0 := time.Now()
+			qerr := p.StreamAt(workCtx, sub, snapshot, e.opts.ForceIndexScan, func(b *sqltypes.Batch) error {
+				if !send(gatherMsg{idx: idx, attempt: attempt, batch: b}) {
+					return workCtx.Err()
+				}
+				return nil
+			})
+			if qerr == nil {
+				send(gatherMsg{idx: idx, attempt: attempt, fin: true, dur: time.Since(t0)})
+				return
+			}
+			if workCtx.Err() != nil {
+				return
+			}
+			if errors.Is(qerr, cluster.ErrBackendDown) || errors.Is(qerr, cluster.ErrTransient) {
+				send(gatherMsg{idx: idx, attempt: attempt, fin: true, err: qerr, retry: true})
+				last = p
+				continue
+			}
+			send(gatherMsg{idx: idx, attempt: attempt, fin: true, err: qerr})
+			return
+		}
+		send(gatherMsg{idx: idx, attempt: attemptSeq.Add(1), fin: true,
+			err: fmt.Errorf("partition flight aborted and no live node answered: %w", werr)})
+	}
+	for i := range followerWait {
+		if followerWait[i] != nil {
+			go runFollower(i, followerWait[i])
+		}
+	}
 	// "When all sub-queries are sent and started by the DBMSs, update
 	// transactions are unblocked."
 	if barrier {
@@ -856,7 +1017,7 @@ func (e *Engine) runSVP(ctx context.Context, sel *sql.SelectStmt, usePartial boo
 	dispSpan.End()
 	e.m.dispatch.Observe(time.Since(dispStart))
 	e.st.svpQueries.Inc()
-	e.st.avpPartitions.Add(int64(nParts - cached))
+	e.st.avpPartitions.Add(int64(nParts - cached - followers))
 
 	// Gather with endgame hedging: batches feed the composer sink as they
 	// arrive, but commits happen in partition order inside the sink —
@@ -1095,8 +1256,22 @@ gather:
 					return nil, 0, sinkErr(err)
 				}
 				if keepRows != nil {
-					e.cache.FillPartial(partialFP, ranges[m.idx][0], ranges[m.idx][1], snapshot, keepRows[m.attempt])
-					delete(keepRows, m.attempt)
+					if followerWait != nil && followerWait[m.idx] != nil {
+						// Served by another query's leader: that leader fills
+						// the partial cache; refilling the same key here would
+						// only double the fill counters.
+						delete(keepRows, m.attempt)
+					} else {
+						e.cache.FillPartial(partialFP, ranges[m.idx][0], ranges[m.idx][1], snapshot, keepRows[m.attempt])
+						if leaders != nil && leaders[m.idx] {
+							// Publish to this partition's flight followers and
+							// retire the leadership so the deferred abort
+							// leaves the settled flight alone.
+							e.cache.FinishPartialFlight(partialFP, ranges[m.idx][0], ranges[m.idx][1], snapshot, keepRows[m.attempt])
+							leaders[m.idx] = false
+						}
+						delete(keepRows, m.attempt)
+					}
 				}
 				if earlyStop && prefixHolds(done, doneRows, rw.PushedLimit) {
 					settled = true

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"unicode/utf8"
+
+	"apuama/internal/sql"
+)
+
+// fuzzFlipCmp mirrors the canonicalizer's operand-swap table.
+var fuzzFlipCmp = map[string]string{
+	"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+// subplanFuzzVariants derives mechanical rewrites of sel that the
+// canonical sub-plan form MAY equate: every comparison flipped, the
+// WHERE conjuncts reversed, and both together. Whether each variant
+// actually fingerprints equal is the canonicalizer's call — the fuzz
+// oracle only acts on the ones that do.
+func subplanFuzzVariants(sel *sql.SelectStmt) []*sql.SelectStmt {
+	flipAll := func(s *sql.SelectStmt) bool {
+		changed := false
+		sql.WalkSelect(s, func(e sql.Expr) bool {
+			if cmp, ok := e.(*sql.CompareExpr); ok {
+				cmp.L, cmp.R = cmp.R, cmp.L
+				cmp.Op = fuzzFlipCmp[cmp.Op]
+				changed = true
+			}
+			return true
+		})
+		return changed
+	}
+	reverseWhere := func(s *sql.SelectStmt) bool {
+		var conj []sql.Expr
+		var flatten func(e sql.Expr)
+		flatten = func(e sql.Expr) {
+			if a, ok := e.(*sql.AndExpr); ok {
+				flatten(a.L)
+				flatten(a.R)
+				return
+			}
+			conj = append(conj, e)
+		}
+		if s.Where == nil {
+			return false
+		}
+		flatten(s.Where)
+		if len(conj) < 2 {
+			return false
+		}
+		out := conj[len(conj)-1]
+		for i := len(conj) - 2; i >= 0; i-- {
+			out = &sql.AndExpr{L: out, R: conj[i]}
+		}
+		s.Where = out
+		return true
+	}
+
+	var out []*sql.SelectStmt
+	if v := sql.CloneSelect(sel); flipAll(v) {
+		out = append(out, v)
+	}
+	if v := sql.CloneSelect(sel); reverseWhere(v) {
+		out = append(out, v)
+	}
+	if v := sql.CloneSelect(sel); flipAll(v) && reverseWhere(v) {
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzSubplanFingerprint is the differential oracle behind the MQO
+// sharing key: whenever two statements fingerprint equal under
+// SubplanFingerprint, the engine may substitute one's execution for the
+// other's — so equal fingerprints MUST mean semantically identical
+// statements. For each input that parses, the fuzzer derives mechanical
+// rewrites (comparison flips, conjunct reorders), and for every variant
+// whose fingerprint collides with the original it renders both, parses
+// them back, executes both on the same single-node snapshot, and
+// requires bit-equal results. An input where the original errors is
+// held to the same bar: a fingerprint-equal variant must error too
+// (canonicalization must never equate a failing spelling with a
+// succeeding one — the conjunct order-safety rule exists exactly for
+// this).
+func FuzzSubplanFingerprint(f *testing.F) {
+	seeds := []string{
+		"select sum(l_extendedprice * l_discount) from lineitem where l_quantity < 24 and l_discount between 0.05 and 0.07",
+		"select sum(l_extendedprice * l_discount) from lineitem where 24 > l_quantity and l_discount between 0.05 and 0.07",
+		"select sum(l_extendedprice * l_discount) from lineitem where l_discount between 0.05 and 0.07 and l_quantity < 24",
+		"select count(*) from orders where o_orderpriority <> '1-URGENT' and o_orderkey < 200",
+		"select count(*) from orders where 200 > o_orderkey and '1-URGENT' <> o_orderpriority",
+		"select count(*) from lineitem where l_shipmode in ('MAIL', 'SHIP') and l_quantity <= 30",
+		"select count(*) from lineitem where l_comment is null and l_quantity < 10",
+		"select count(*) from lineitem where not l_quantity < 5 and l_tax >= 0",
+		"select count(*) from lineitem where l_quantity / l_discount > 100 and l_quantity < 24",
+		"select o_orderstatus, count(*) from orders where o_orderkey < 150 and o_custkey > 3 group by o_orderstatus order by o_orderstatus",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 || !utf8.ValidString(src) {
+			t.Skip()
+		}
+		sel, err := sql.ParseSelect(src)
+		if err != nil {
+			t.Skip()
+		}
+		if sel.Limit != nil {
+			t.Skip() // ties under LIMIT make row choice legitimately ambiguous
+		}
+		if len(sel.From) > 2 || (len(sel.From) == 2 && sel.Where == nil) {
+			t.Skip() // unconstrained cross joins: quadratic cost, no extra coverage
+		}
+		s, err := getFuzzStack()
+		if err != nil {
+			t.Fatalf("stack: %v", err)
+		}
+		fp := sql.SubplanFingerprint(sel)
+		want, werr := s.ref.Query(src)
+		for vi, v := range subplanFuzzVariants(sel) {
+			if sql.SubplanFingerprint(v) != fp {
+				continue
+			}
+			text := v.SQL()
+			if _, err := sql.ParseSelect(text); err != nil {
+				t.Fatalf("variant %d of %q rendered to unparseable %q: %v", vi, src, text, err)
+			}
+			got, gerr := s.ref.Query(text)
+			if werr != nil {
+				if gerr == nil {
+					t.Fatalf("fingerprint-equal variant %q succeeded where original %q failed: %v", text, src, werr)
+				}
+				continue
+			}
+			if gerr != nil {
+				t.Fatalf("fingerprint-equal variant %q failed where original %q succeeded: %v", text, src, gerr)
+			}
+			assertBitIdentical(t, fmt.Sprintf("subplan %q vs %q", src, text), got, want)
+		}
+	})
+}

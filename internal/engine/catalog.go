@@ -38,6 +38,7 @@ type Database struct {
 	// replaces eligible heap scans with colScanOp. Database-wide because
 	// segments live on the shared relations, not per node.
 	columnar atomic.Bool
+	mqo      atomic.Bool
 }
 
 // NewDatabase creates an empty database with the given cost model.
@@ -126,6 +127,13 @@ func (db *Database) SetColumnar(on bool) { db.columnar.Store(on) }
 
 // ColumnarEnabled reports whether columnar segment scans are enabled.
 func (db *Database) ColumnarEnabled() bool { return db.columnar.Load() }
+
+// SetMQO enables or disables cooperative shared scans (the multi-query
+// optimization layer) for every node attached to this database.
+func (db *Database) SetMQO(on bool) { db.mqo.Store(on) }
+
+// MQOEnabled reports whether cooperative shared scans are enabled.
+func (db *Database) MQOEnabled() bool { return db.mqo.Load() }
 
 // SegmentBytes returns the simulated size of all currently materialized
 // column segments across relations (the apuama_storage_segment_bytes

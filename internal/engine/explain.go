@@ -57,6 +57,12 @@ func describe(o op, depth int, out *[]string) {
 		add("Index Scan using %s on %s%s", o.index.Name, o.rel.Name, bound)
 	case *colScanOp:
 		add("Columnar Seq Scan on %s (%s)", o.rel.Name, staticPrune(o))
+	case *sharedScanOp:
+		if col, ok := o.fallback.(*colScanOp); ok {
+			add("Shared Columnar Scan on %s (%s)", o.rel.Name, staticPrune(col))
+		} else {
+			add("Shared Columnar Scan on %s", o.rel.Name)
+		}
 	case *filterOp:
 		add("Filter")
 		describe(o.child, depth+1, out)

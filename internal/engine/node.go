@@ -48,6 +48,11 @@ type Node struct {
 	// nothing).
 	pstats parallelStats
 
+	// scans holds the node's live shared-scan coordinators (MQO), one
+	// per (relation, snapshot) with attached consumers.
+	scanMu sync.Mutex
+	scans  map[scanCoordKey]*scanCoord
+
 	applying sync.Mutex // serializes write application on this node
 }
 
@@ -62,15 +67,23 @@ type parallelStats struct {
 	segPruned  atomic.Int64 // segments skipped via zone maps
 	segScanned atomic.Int64 // segments actually scanned
 
+	// Cooperative shared-scan activity (MQO).
+	sharedAttach atomic.Int64 // consumers that attached to a coordinator
+	sharedScans  atomic.Int64 // segments physically scanned by drivers
+	sharedDeliv  atomic.Int64 // consumer-segments served from a driver's pass
+
 	// obs mirrors (nil-safe no-ops when no registry is wired).
-	mQueries    *obs.Counter
-	mMorsels    *obs.Counter
-	mSteals     *obs.Counter
-	mUtil       *obs.Gauge
-	mSegBuilt   *obs.Counter
-	mSegPruned  *obs.Counter
-	mSegScanned *obs.Counter
-	mSegBytes   *obs.Gauge
+	mQueries      *obs.Counter
+	mMorsels      *obs.Counter
+	mSteals       *obs.Counter
+	mUtil         *obs.Gauge
+	mSegBuilt     *obs.Counter
+	mSegPruned    *obs.Counter
+	mSegScanned   *obs.Counter
+	mSegBytes     *obs.Gauge
+	mSharedAttach *obs.Counter
+	mSharedScans  *obs.Counter
+	mSharedDeliv  *obs.Counter
 }
 
 func (ps *parallelStats) addMorsels(n int64)     { ps.morsels.Add(n); ps.mMorsels.Add(n) }
@@ -82,6 +95,10 @@ func (ps *parallelStats) addSegPruned(n int64)   { ps.segPruned.Add(n); ps.mSegP
 func (ps *parallelStats) addSegScanned(n int64)  { ps.segScanned.Add(n); ps.mSegScanned.Add(n) }
 func (ps *parallelStats) setSegBytes(b int64)    { ps.mSegBytes.Set(b) }
 
+func (ps *parallelStats) addSharedAttach(n int64)     { ps.sharedAttach.Add(n); ps.mSharedAttach.Add(n) }
+func (ps *parallelStats) addSharedScans(n int64)      { ps.sharedScans.Add(n); ps.mSharedScans.Add(n) }
+func (ps *parallelStats) addSharedDeliveries(n int64) { ps.sharedDeliv.Add(n); ps.mSharedDeliv.Add(n) }
+
 // NewNode attaches a new node to the database with its own buffer pool.
 func NewNode(id int, db *Database) *Node {
 	meter := costmodel.NewMeter(db.cfg)
@@ -91,6 +108,7 @@ func NewNode(id int, db *Database) *Node {
 		pool:     storage.NewBufferPool(db.cfg.CachePages, meter),
 		meter:    meter,
 		settings: map[string]sqltypes.Value{},
+		scans:    map[scanCoordKey]*scanCoord{},
 	}
 }
 
@@ -156,6 +174,24 @@ func (nd *Node) SegmentStats() (built, pruned, scanned int64) {
 	return nd.pstats.segBuilt.Load(), nd.pstats.segPruned.Load(), nd.pstats.segScanned.Load()
 }
 
+// SharedScanStats reports cumulative cooperative shared-scan activity
+// on this node: consumers attached to a coordinator, segments
+// physically scanned by drivers, and consumer-segments served from
+// those passes. deliveries/scans > 1 means passes were genuinely
+// shared.
+func (nd *Node) SharedScanStats() (attached, scans, deliveries int64) {
+	return nd.pstats.sharedAttach.Load(), nd.pstats.sharedScans.Load(), nd.pstats.sharedDeliv.Load()
+}
+
+// SharedScanIdle reports whether the node has no live shared-scan
+// coordinators (every consumer has detached) — the invariant the chaos
+// tests assert after failures.
+func (nd *Node) SharedScanIdle() bool {
+	nd.scanMu.Lock()
+	defer nd.scanMu.Unlock()
+	return len(nd.scans) == 0
+}
+
 // SetObs mirrors the node's parallel-execution counters into a metrics
 // registry (nil disables; handles are nil-safe).
 func (nd *Node) SetObs(reg *obs.Registry) {
@@ -171,6 +207,9 @@ func (nd *Node) SetObs(reg *obs.Registry) {
 	nd.pstats.mSegPruned = reg.Counter(obs.Labeled(obs.MEngineSegmentsPruned, "node", id))
 	nd.pstats.mSegScanned = reg.Counter(obs.Labeled(obs.MEngineSegmentsScanned, "node", id))
 	nd.pstats.mSegBytes = reg.Gauge(obs.Labeled(obs.MStorageSegmentBytes, "node", id))
+	nd.pstats.mSharedAttach = reg.Counter(obs.Labeled(obs.MEngineSharedAttaches, "node", id))
+	nd.pstats.mSharedScans = reg.Counter(obs.Labeled(obs.MEngineSharedScans, "node", id))
+	nd.pstats.mSharedDeliv = reg.Counter(obs.Labeled(obs.MEngineSharedDeliveries, "node", id))
 }
 
 // maxParallelism caps auto-selected degrees: beyond ~8 workers the

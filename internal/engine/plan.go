@@ -300,10 +300,22 @@ func (n *Node) planScan(b *binder, t int, tb tableBinding, filters []sql.Expr, n
 		// runtime fallback. Secondary-index scans keep the heap path:
 		// their output order is unrelated to physical order.
 		if n.db.ColumnarEnabled() && best.index.Clustered && tb.rel.LiveRows() >= columnarMinRows {
-			scanOp = &colScanOp{rel: tb.rel, filter: filter, needKeyOrder: true, fallback: scanOp}
+			col := &colScanOp{rel: tb.rel, filter: filter, needKeyOrder: true, fallback: scanOp}
+			scanOp = col
+			// MQO: route segment reads through the node's shared-scan
+			// coordinator so concurrent queries over the same snapshot
+			// share one physical pass. The colScanOp rides along as the
+			// fallback for unshareable generations.
+			if n.db.MQOEnabled() {
+				scanOp = &sharedScanOp{rel: tb.rel, filter: filter, needKeyOrder: true, fallback: col}
+			}
 		}
 	} else if n.db.ColumnarEnabled() && tb.rel.LiveRows() >= columnarMinRows {
-		scanOp = &colScanOp{rel: tb.rel, filter: filter}
+		col := &colScanOp{rel: tb.rel, filter: filter}
+		scanOp = col
+		if n.db.MQOEnabled() {
+			scanOp = &sharedScanOp{rel: tb.rel, filter: filter, fallback: col}
+		}
 	} else {
 		scanOp = &seqScanOp{rel: tb.rel, filter: filter}
 	}

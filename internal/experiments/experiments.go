@@ -69,6 +69,12 @@ type Config struct {
 	// each node engine (off = the paper's heap-only configuration); the
 	// columnar experiment compares both sides.
 	Columnar bool
+	// MQO enables multi-query optimization — cooperative shared scans
+	// plus canonical sub-plan sharing; the mqo experiment compares both
+	// sides. MQOWindow is the admission batching window (0 = engine
+	// default when MQO is on).
+	MQO       bool
+	MQOWindow time.Duration
 	// Admission configures overload protection (zero = off, the paper
 	// configuration); the overload experiment sets it.
 	Admission admission.Config
@@ -156,6 +162,8 @@ func buildStack(n int, cfg Config) (*stack, error) {
 	opts.AVPGranularity = cfg.AVPGranularity
 	opts.Admission = cfg.Admission
 	opts.Columnar = cfg.Columnar
+	opts.MQO = cfg.MQO
+	opts.MQOWindow = cfg.MQOWindow
 	eng := core.New(db, nodes, core.TPCHCatalog(), opts)
 	ctl := cluster.New(db, eng.Backends(), cluster.Options{Cost: cfg.Cost})
 	return &stack{db: db, nodes: nodes, eng: eng, ctl: ctl}, nil

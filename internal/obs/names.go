@@ -52,8 +52,11 @@ const (
 	MCacheExpired        = "apuama_cache_expired_total"        // entries dropped at their TTL
 	MCacheBytes          = "apuama_cache_bytes"                // gauge: resident bytes, result layer
 	MCacheEntries        = "apuama_cache_entries"              // gauge: resident composed results
+	MCacheFlightCancels  = "apuama_cache_flight_cancels_total" // singleflight followers cancelled mid-wait
 	MCachePartialHits    = "apuama_cache_partial_hits_total"   // partitions served without dispatch
 	MCachePartialMisses  = "apuama_cache_partial_misses_total" // partition probes that dispatched
+	MCachePartialFills   = "apuama_cache_partial_fills_total"  // partition results inserted
+	MCachePartialShares  = "apuama_cache_partial_shares_total" // partitions joined onto an in-flight leader
 	MCachePartialBytes   = "apuama_cache_partial_bytes"        // gauge: resident bytes, partial layer
 	MCachePartialEntries = "apuama_cache_partial_entries"      // gauge: resident partition entries
 
@@ -78,6 +81,12 @@ const (
 	MEngineSegmentsScanned = "apuama_engine_segments_scanned_total" // segments actually scanned
 	MStorageSegmentBytes   = "apuama_storage_segment_bytes"         // gauge: resident encoded segment bytes
 
+	// Cooperative shared scans (MQO layer, internal/engine), labeled
+	// {node=...}.
+	MEngineSharedAttaches   = "apuama_engine_shared_attaches_total"   // consumers that joined a shared scan
+	MEngineSharedScans      = "apuama_engine_shared_scans_total"      // segments physically scanned by drivers
+	MEngineSharedDeliveries = "apuama_engine_shared_deliveries_total" // consumer-segments served from a driver's pass
+
 	// Overload protection (internal/admission).
 	MAdmissionAdmitted    = "apuama_admission_admitted_total"        // queries granted slots
 	MAdmissionQueued      = "apuama_admission_queued_total"          // queries that waited for a slot
@@ -87,6 +96,8 @@ const (
 	MAdmissionMemReserved = "apuama_admission_memory_reserved_bytes" // gauge: bytes reserved against the budget
 	MAdmissionMemAborts   = "apuama_admission_memory_aborts_total"   // reservations aborted at the budget
 	MAdmissionSlowKills   = "apuama_admission_slow_kills_total"      // queries cancelled by the slow-query killer
+	MAdmissionBatched     = "apuama_admission_batched_total"         // queries held in an MQO batching window
+	MAdmissionBatchWins   = "apuama_admission_batch_windows_total"   // batching windows opened
 
 	// Node processors.
 	MPoolWait     = "apuama_pool_wait_seconds"     // connection-pool admission wait, labeled {node=...}

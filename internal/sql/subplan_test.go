@@ -1,0 +1,127 @@
+package sql
+
+import "testing"
+
+func mustSubFP(t *testing.T, src string) Fingerprint {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return SubplanFingerprint(stmt)
+}
+
+func TestSubplanFingerprintCollapses(t *testing.T) {
+	// Each group lists spellings that must share one sub-plan fingerprint.
+	groups := [][]string{
+		{
+			// Comparison orientation: constant-first flips to column-first.
+			"select sum(l_quantity) from lineitem where l_quantity < 24",
+			"select sum(l_quantity) from lineitem where 24 > l_quantity",
+		},
+		{
+			"select count(*) from orders where 10 <= o_orderkey",
+			"select count(*) from orders where o_orderkey >= 10",
+		},
+		{
+			"select count(*) from orders where 10 = o_orderkey",
+			"select count(*) from orders where o_orderkey = 10",
+		},
+		{
+			// Conjunct order over order-safe predicates.
+			"select count(*) from lineitem where l_quantity < 24 and l_discount >= 0.05",
+			"select count(*) from lineitem where l_discount >= 0.05 and l_quantity < 24",
+		},
+		{
+			// Both rewrites together, three conjuncts, any AND tree shape.
+			"select count(*) from lineitem where l_quantity < 24 and l_discount >= 0.05 and l_tax <= 0.08",
+			"select count(*) from lineitem where l_tax <= 0.08 and 24 > l_quantity and 0.05 <= l_discount",
+			"select count(*) from lineitem where 0.05 <= l_discount and l_tax <= 0.08 and l_quantity < 24",
+		},
+		{
+			// BETWEEN, IN and IS NULL are order-safe conjuncts too.
+			"select count(*) from lineitem where l_discount between 0.05 and 0.07 and l_quantity in (1, 2, 3) and l_comment is null",
+			"select count(*) from lineitem where l_comment is null and l_quantity in (3, 2, 1) and l_discount between 0.05 and 0.07",
+		},
+		{
+			// Everything FingerprintStmt already folds still folds.
+			"select count(*) from orders where o_orderkey in (3, 1, 2)",
+			"SELECT COUNT(*) FROM ORDERS WHERE O_ORDERKEY IN (1, 2, 3)",
+		},
+	}
+	for _, g := range groups {
+		want := mustSubFP(t, g[0])
+		for _, src := range g[1:] {
+			if got := mustSubFP(t, src); got != want {
+				t.Errorf("sub-plan fingerprint mismatch within group:\n  %q -> %x\n  %q -> %x", g[0], want, src, got)
+			}
+		}
+	}
+}
+
+func TestSubplanFingerprintDistinguishes(t *testing.T) {
+	distinct := []string{
+		"select count(*) from lineitem where l_quantity < 24",
+		"select count(*) from lineitem where l_quantity <= 24",
+		"select count(*) from lineitem where l_quantity > 24",
+		"select count(*) from lineitem where l_quantity < 25",
+		"select count(*) from lineitem where l_discount < 24",
+		"select sum(l_quantity) from lineitem where l_quantity < 24",
+		"select count(*) from orders where o_orderkey < 24",
+	}
+	seen := map[Fingerprint]string{}
+	for _, src := range distinct {
+		fp := mustSubFP(t, src)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("collision: %q and %q both fingerprint %x", prev, src, fp)
+		}
+		seen[fp] = src
+	}
+}
+
+func TestSubplanConjunctSortRequiresOrderSafety(t *testing.T) {
+	// Division can fail at runtime, so a conjunct containing arithmetic
+	// pins every conjunct in author order: the two spellings must NOT
+	// collapse (reordering could change which rows raise the error).
+	a := mustSubFP(t, "select count(*) from lineitem where l_quantity < 24 and l_extendedprice / l_quantity > 100")
+	b := mustSubFP(t, "select count(*) from lineitem where l_extendedprice / l_quantity > 100 and l_quantity < 24")
+	if a == b {
+		t.Fatalf("conjuncts with arithmetic were reordered: %x == %x", a, b)
+	}
+}
+
+func TestSubplanFingerprintDoesNotMutateAST(t *testing.T) {
+	stmt, err := Parse("select count(*) from lineitem where 24 > l_quantity and l_discount >= 0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := stmt.SQL()
+	SubplanFingerprint(stmt)
+	if after := stmt.SQL(); after != before {
+		t.Fatalf("SubplanFingerprint mutated the statement:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+func TestCanonicalSubplanReparses(t *testing.T) {
+	// The canonical form must itself be valid SQL that parses back to
+	// the same canonical form (the fuzz oracle renders and re-executes
+	// canonical texts, so they have to round-trip).
+	srcs := []string{
+		"select sum(l_extendedprice * l_discount) from lineitem where l_quantity < 24 and l_discount between 0.05 and 0.07",
+		"select count(*) from lineitem where 24 > l_quantity and l_comment is not null",
+	}
+	for _, src := range srcs {
+		sel, err := ParseSelect(src)
+		if err != nil {
+			t.Fatalf("ParseSelect(%q): %v", src, err)
+		}
+		canon := CanonicalSubplan(sel).SQL()
+		again, err := ParseSelect(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not parse: %v", canon, err)
+		}
+		if got := CanonicalSubplan(again).SQL(); got != canon {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:  %s\nsecond: %s", canon, got)
+		}
+	}
+}
